@@ -1,0 +1,38 @@
+"""Ablation bench: the strict black-box surrogate reward vs SA-RL's
+original relaxed dense reward.
+
+The paper (Section 6.2) forces both SA-RL and IMAP onto the surrogate
+``-r̂`` for fairness.  This bench quantifies how much the relaxation is
+worth to SA-RL on a dense task.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro import envs
+from repro.attacks import StatePerturbationEnv, default_epsilon, train_sarl
+from repro.eval import evaluate_single_agent
+from repro.experiments import attack_config_for, victim_for
+
+
+def test_surrogate_vs_dense_reward(benchmark, scale):
+    env_id = "Hopper-v0"
+    eps = default_epsilon(env_id)
+
+    def run():
+        victim = victim_for(env_id, "ppo", scale, seed=0)
+        results = {}
+        for dense in (False, True):
+            adv_env = StatePerturbationEnv(envs.make(env_id), victim, epsilon=eps)
+            attack = train_sarl(adv_env, attack_config_for(scale, seed=0),
+                                use_dense_reward=dense)
+            ev = evaluate_single_agent(envs.make(env_id), victim, attack.policy,
+                                       epsilon=eps, episodes=scale.eval_episodes)
+            results["dense(relaxed)" if dense else "surrogate(black-box)"] = ev
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    for name, ev in results.items():
+        print(f"{name:>22}: victim reward {ev.mean_reward:8.1f} ASR {ev.asr:.0%}")

@@ -1,0 +1,38 @@
+"""Ablation bench: dual value heads (Eq. 14) vs a single mixed-reward head.
+
+The paper estimates Â_E and Â_I with separate critics.  This bench trains
+IMAP-PC both ways on the same victim and reports final attack quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro import envs
+from repro.attacks import StatePerturbationEnv, default_epsilon, train_imap
+from repro.eval import evaluate_single_agent
+from repro.experiments import attack_config_for, victim_for
+
+
+def test_dual_vs_single_value_head(benchmark, scale):
+    env_id = "SparseHopper-v0"
+    eps = default_epsilon(env_id)
+
+    def run():
+        victim = victim_for(env_id, "ppo", scale, seed=0)
+        results = {}
+        for single in (False, True):
+            config = replace(attack_config_for(scale, seed=0), single_value_head=single)
+            adv_env = StatePerturbationEnv(envs.make(env_id), victim, epsilon=eps)
+            attack = train_imap(adv_env, "pc", config)
+            ev = evaluate_single_agent(envs.make(env_id), victim, attack.policy,
+                                       epsilon=eps, episodes=scale.eval_episodes)
+            results["single" if single else "dual"] = ev
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    for name, ev in results.items():
+        print(f"{name:>6} head: victim reward {ev.mean_reward:6.2f} ASR {ev.asr:.0%}")

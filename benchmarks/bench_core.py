@@ -1,0 +1,98 @@
+"""Microbenchmarks for the core substrates: autograd, PPO update,
+environment stepping, and KNN density queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import envs, nn
+from repro.density import KnnDensityEstimator
+from repro.nn import MLP, Tensor
+from repro.nn import functional as F
+from repro.rl import ActorCritic, PPOConfig, PPOUpdater
+
+RNG = np.random.default_rng(0)
+
+
+def test_mlp_forward_backward(benchmark):
+    net = MLP(64, (64, 64), 8, rng=RNG)
+    x = RNG.standard_normal((256, 64))
+
+    def step():
+        net.zero_grad()
+        loss = (net(x) ** 2).mean()
+        loss.backward()
+        return float(loss.data)
+
+    benchmark(step)
+
+
+def test_gaussian_log_prob(benchmark):
+    from repro.nn import DiagGaussian
+    mean = Tensor(RNG.standard_normal((512, 8)), requires_grad=True)
+    log_std = Tensor(np.zeros(8), requires_grad=True)
+    actions = RNG.standard_normal((512, 8))
+
+    def step():
+        return DiagGaussian(mean, log_std).log_prob(actions).data.sum()
+
+    benchmark(step)
+
+
+def test_ppo_minibatch_update(benchmark):
+    policy = ActorCritic(17, 6, rng=RNG)
+    updater = PPOUpdater(policy, PPOConfig(epochs=1, minibatches=1))
+    n = 256
+    with nn.no_grad():
+        obs = RNG.standard_normal((n, 17))
+        dist = policy.distribution(obs)
+        actions = dist.sample(RNG)
+        logp = dist.log_prob(actions).data
+    batch = {
+        "obs": obs, "actions": actions, "log_probs": logp,
+        "advantages_e": RNG.standard_normal(n), "advantages_i": np.zeros(n),
+        "returns_e": RNG.standard_normal(n), "returns_i": np.zeros(n),
+    }
+
+    benchmark(lambda: updater.update(batch, rng=RNG))
+
+
+@pytest.mark.parametrize("env_id", ["Hopper-v0", "Ant-v0", "AntUMaze-v0"])
+def test_env_step_throughput(benchmark, env_id):
+    env = envs.make(env_id)
+    env.reset(seed=0)
+    action = np.zeros(env.action_space.shape)
+
+    def step():
+        _, _, term, trunc, _ = env.step(action)
+        if term or trunc:
+            env.reset()
+
+    benchmark(step)
+
+
+def test_game_step_throughput(benchmark):
+    game = envs.make_game("YouShallNotPass-v0")
+    game.reset(seed=0)
+    a = np.zeros(3)
+
+    def step():
+        _, _, done, _ = game.step(a, a)
+        if done:
+            game.reset()
+
+    benchmark(step)
+
+
+def test_knn_density_query(benchmark):
+    refs = RNG.standard_normal((4096, 11))
+    queries = RNG.standard_normal((2048, 11))
+    est = KnnDensityEstimator(refs, k=5)
+    benchmark(lambda: est.distance(queries))
+
+
+def test_policy_single_step_act(benchmark):
+    policy = ActorCritic(111, 8, rng=RNG)
+    obs = RNG.standard_normal(111)
+    benchmark(lambda: policy.act(obs, RNG))

@@ -1,0 +1,40 @@
+"""Bench: regenerate Figure 4 (sparse locomotion attack learning curves)."""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import run_fig4
+from repro.experiments.fig4 import FIG4_TASKS
+
+
+def test_fig4_sparsehopper(benchmark, scale):
+    def run():
+        return run_fig4(env_ids=["SparseHopper-v0"],
+                        attacks=["sarl", "imap-pc", "imap-r"],
+                        scale=scale, verbose=False)
+
+    figures = run_once(benchmark, run)
+    print()
+    figure = figures["SparseHopper-v0"]
+    print(figure.render(y_name="victim success"))
+    # sample-efficiency summary: lower AUC = faster attack
+    for label, curve in figure.curves.items():
+        print(f"{label:>10} AUC {curve.auc():.1f}  best {curve.best():.2f}")
+
+
+def test_fig4_full(benchmark, scale):
+    if not os.environ.get("REPRO_FIG4_FULL"):
+        import pytest
+        pytest.skip("set REPRO_FIG4_FULL=1 to run all six sparse locomotion tasks")
+
+    def run():
+        return run_fig4(env_ids=FIG4_TASKS, scale=scale, verbose=True)
+
+    figures = run_once(benchmark, run)
+    print()
+    for env_id, figure in figures.items():
+        print(figure.render(y_name="victim success"))
+        print()

@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 5 (ASR curves, AP-MARL vs IMAP-PC+BR)."""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_youshallnotpass(benchmark, scale):
+    def run():
+        return run_fig5(game_ids=["YouShallNotPass-v0"], scale=scale, verbose=False)
+
+    out = run_once(benchmark, run)
+    data = out["YouShallNotPass-v0"]
+    print()
+    print(data["curves"].render(y_name="asr"))
+    for attack, asr in data["final_asr"].items():
+        print(f"{attack:>12} final ASR {asr:.2%}")
+
+
+def test_fig5_kickanddefend(benchmark, scale):
+    if not os.environ.get("REPRO_FIG5_FULL"):
+        import pytest
+        pytest.skip("set REPRO_FIG5_FULL=1 to run KickAndDefend as well")
+
+    def run():
+        return run_fig5(game_ids=["KickAndDefend-v0"], scale=scale, verbose=True)
+
+    out = run_once(benchmark, run)
+    print()
+    print(out["KickAndDefend-v0"]["curves"].render(y_name="asr"))

@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 6 (BR step size η ablation)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_eta_ablation(benchmark, scale):
+    def run():
+        return run_fig6(env_id="FetchReach-v0", etas=[0.1, 0.5, 1.0],
+                        scale=scale, verbose=False)
+
+    out = run_once(benchmark, run)
+    print()
+    print(out["curves"].render(y_name="victim success"))
+    rewards = out["final_reward"]
+    for eta, reward in rewards.items():
+        print(f"eta={eta:<5} victim reward {reward:.2f}")
+    spread = max(rewards.values()) - min(rewards.values())
+    print(f"spread across eta: {spread:.2f} (paper: insensitive)")

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 7 (multi-agent mixing weight ξ ablation)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_xi_ablation(benchmark, scale):
+    def run():
+        return run_fig7(game_id="YouShallNotPass-v0", xis=[0.0, 0.5, 1.0],
+                        scale=scale, verbose=False)
+
+    out = run_once(benchmark, run)
+    print()
+    print(out["curves"].render(y_name="asr"))
+    for xi, asr in out["final_asr"].items():
+        print(f"xi={xi:<5} final ASR {asr:.2%}")

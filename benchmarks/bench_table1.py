@@ -1,0 +1,42 @@
+"""Bench: regenerate Table 1 (dense locomotion, victims x attacks).
+
+Default (smoke) runs a representative slice — Hopper with a vanilla and
+a WocaR victim under {none, random, SA-RL, IMAP-PC, IMAP-R}.  Use
+``REPRO_SCALE=short`` and ``REPRO_TABLE1_FULL=1`` for the full grid.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+from repro.experiments.table1 import TABLE1_ATTACKS, TABLE1_DEFENSES
+
+SLICE_ATTACKS = ["none", "random", "sarl", "imap-pc", "imap-r"]
+
+
+def test_table1_hopper_slice(benchmark, scale):
+    def run():
+        return run_table1(env_ids=["Hopper-v0"], defenses=["ppo", "wocar"],
+                          attacks=SLICE_ATTACKS, scale=scale, verbose=False)
+
+    result = run_once(benchmark, run)
+    print()
+    print(result.render(attacks=SLICE_ATTACKS))
+    print(f"best-IMAP <= SA-RL on {result.best_imap_beats_sarl_fraction():.0%} of rows")
+
+
+def test_table1_full_grid(benchmark, scale):
+    if not os.environ.get("REPRO_TABLE1_FULL"):
+        import pytest
+        pytest.skip("set REPRO_TABLE1_FULL=1 to run the full 4-env x 6-defense grid")
+
+    def run():
+        return run_table1(defenses=TABLE1_DEFENSES, attacks=TABLE1_ATTACKS,
+                          scale=scale, verbose=True)
+
+    result = run_once(benchmark, run)
+    print()
+    print(result.render())

@@ -1,0 +1,40 @@
+"""Bench: regenerate Table 2 (sparse tasks, SA-RL vs IMAP vs best +BR).
+
+Default runs the two cheapest tasks (FetchReach, SparseHopper); use
+``REPRO_TABLE2_FULL=1`` for all nine tasks.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import run_table2
+
+SLICE_TASKS = ["FetchReach-v0", "SparseHopper-v0"]
+
+
+def test_table2_slice(benchmark, scale):
+    def run():
+        return run_table2(env_ids=SLICE_TASKS, include_br=True, scale=scale,
+                          verbose=False)
+
+    result = run_once(benchmark, run)
+    print()
+    print(result.render())
+    wins, total = result.imap_dominates_sarl_count()
+    print(f"best-IMAP <= SA-RL on {wins}/{total} sparse tasks")
+
+
+def test_table2_full(benchmark, scale):
+    if not os.environ.get("REPRO_TABLE2_FULL"):
+        import pytest
+        pytest.skip("set REPRO_TABLE2_FULL=1 to run all nine sparse tasks")
+
+    def run():
+        return run_table2(include_br=True, scale=scale, verbose=True)
+
+    result = run_once(benchmark, run)
+    print()
+    print(result.render())

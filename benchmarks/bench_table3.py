@@ -1,0 +1,33 @@
+"""Bench: regenerate Table 3 (full IMAP x BR grid on sparse tasks)."""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import br_improvement_count, render_table3, run_table3
+
+
+def test_table3_slice(benchmark, scale):
+    def run():
+        return run_table3(env_ids=["FetchReach-v0"], scale=scale, verbose=False)
+
+    result = run_once(benchmark, run)
+    print()
+    print(render_table3(result))
+    improved, total = br_improvement_count(result)
+    print(f"BR improves some IMAP variant on {improved}/{total} tasks")
+
+
+def test_table3_full(benchmark, scale):
+    if not os.environ.get("REPRO_TABLE3_FULL"):
+        import pytest
+        pytest.skip("set REPRO_TABLE3_FULL=1 to run all nine sparse tasks")
+
+    def run():
+        return run_table3(scale=scale, verbose=True)
+
+    result = run_once(benchmark, run)
+    print()
+    print(render_table3(result))

@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Benches default to the ``smoke`` scale so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; set ``REPRO_SCALE=short`` (or
+``paper``) to regenerate the tables/figures at meaningful budgets.
+Victims are cached under ``$REPRO_ARTIFACTS`` between runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import SCALES
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_SCALE", "smoke")
+    return SCALES[name]
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

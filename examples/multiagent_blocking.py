@@ -1,0 +1,84 @@
+"""YouShallNotPass: learn a blocking opponent with AP-MARL and with
+IMAP-PC+BR, then narrate what each adversary actually does (the paper's
+Figure 2 story, in statistics instead of pixels).
+
+    python examples/multiagent_blocking.py              # ~8 minutes
+    REPRO_FAST=1 python examples/multiagent_blocking.py # quick demo
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import envs
+from repro.attacks import AttackConfig, OpponentEnv, train_apmarl, train_imap
+from repro.eval import evaluate_game, render_table
+from repro.zoo import get_game_victim
+
+FAST = bool(os.environ.get("REPRO_FAST"))
+GAME = "YouShallNotPass-v0"
+ATTACK_ITERS = 4 if FAST else 24
+EPISODES = 10 if FAST else 50
+
+
+def behaviour_stats(victim, adversary, episodes: int = 20) -> dict:
+    """How does the blocker behave? contacts, runner falls, timeouts."""
+    rng = np.random.default_rng(7)
+    contacts, falls, timeouts, wins = 0, 0, 0, 0
+    for ep in range(episodes):
+        game = envs.make_game(GAME)
+        adv_env = OpponentEnv(game, victim, seed=900 + ep)
+        adv_env.seed(900 + ep)
+        obs = adv_env.reset()
+        done, had_contact = False, False
+        info = {}
+        while not done:
+            action = adversary.action(obs, rng, deterministic=True)
+            obs, _, done, _, info = adv_env.step(action)
+            had_contact = had_contact or bool(info.get("contact", False))
+        contacts += int(had_contact)
+        falls += int(game.runner.fallen)
+        timeouts += int(info["steps"] >= game.max_steps)
+        wins += int(info["adversary_win"])
+    return {"win_rate": wins / episodes, "contact_rate": contacts / episodes,
+            "runner_fall_rate": falls / episodes, "timeout_rate": timeouts / episodes}
+
+
+def main() -> None:
+    print(f"Loading / training the {GAME} victim (self-play proxy zoo) ...")
+    victim = get_game_victim(GAME, iterations=8 if FAST else 40,
+                             hardening_iterations=0 if FAST else 30,
+                             budget_tag="example", seed=0)
+
+    config = AttackConfig(iterations=ATTACK_ITERS, seed=5, intrinsic_reward_scale=0.05)
+    print("Training the AP-MARL baseline blocker ...")
+    apmarl = train_apmarl(OpponentEnv(envs.make_game(GAME), victim), config)
+    print("Training the IMAP-PC+BR blocker ...")
+    imap = train_imap(OpponentEnv(envs.make_game(GAME), victim), "pc", config,
+                      multi_agent=True, use_bias_reduction=True)
+
+    rows = []
+    for name, result in (("AP-MARL", apmarl), ("IMAP-PC+BR", imap)):
+        ev = evaluate_game(envs.make_game(GAME), victim, result.policy,
+                           episodes=EPISODES)
+        stats = behaviour_stats(victim, result.policy)
+        rows.append([name, f"{ev.asr:.0%}", f"{stats['contact_rate']:.0%}",
+                     f"{stats['runner_fall_rate']:.0%}", f"{stats['timeout_rate']:.0%}"])
+        samples, asr = result.curve("asr")
+        first_win = next((int(x) for x, y in zip(samples, asr) if y > 0), None)
+        print(f"  {name}: first training win after "
+              f"{first_win if first_win is not None else '>budget'} samples")
+
+    print()
+    print(render_table(
+        ["Adversary", "ASR", "contact", "runner falls", "timeouts"], rows,
+        title=f"{GAME}: how each adversary wins"))
+    print("\nIMAP's PC bonus rewards covering novel joint states, which in this"
+          "\ngame means intercept positions — it discovers blocking earlier than"
+          "\nAP-MARL's dithering exploration (compare first-win samples above).")
+
+
+if __name__ == "__main__":
+    main()

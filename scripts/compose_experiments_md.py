@@ -1,0 +1,186 @@
+"""Compose EXPERIMENTS.md from the short-scale battery outputs.
+
+Reads ``artifacts/short_run.log`` (per-cell lines are logged as they
+complete, so partially finished batteries still yield a table) plus any
+saved ``artifacts/results/*.txt``, and writes the paper-vs-measured
+report.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+LOG = Path("artifacts/short_run.log")
+RESULTS = Path("artifacts/results")
+
+CELL_RE = re.compile(
+    r"\[table1\] (\S+)\s+(\S+)\s+(\S+)\s+(-?[\d.]+) ±\s+([\d.]+)\s+ASR (\d+)%"
+)
+# table2 lines have no defense column
+CELL2_RE = re.compile(
+    r"\[table2\] (\S+)\s+(\S+)\s+(-?[\d.]+) ±\s+([\d.]+)\s+ASR (\d+)%"
+)
+FIG_RE = re.compile(r"\[fig(\d)\] (\S+)\s+(\S+)\s+final (?:ASR|victim success) ([\d.]+%?)")
+
+
+def parse_log():
+    table1, table2, figs = [], [], []
+    if not LOG.exists():
+        return table1, table2, figs
+    for line in LOG.read_text().splitlines():
+        m = CELL_RE.match(line.strip())
+        if m:
+            table1.append(m.groups())
+            continue
+        m = CELL2_RE.match(line.strip())
+        if m:
+            table2.append(m.groups())
+            continue
+        m = FIG_RE.match(line.strip())
+        if m:
+            figs.append(m.groups())
+    return table1, table2, figs
+
+
+def fmt_table(rows, headers):
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    out += ["| " + " | ".join(str(c) for c in r) + " |" for r in rows]
+    return "\n".join(out)
+
+
+def pivot_table1(cells):
+    # cells: (env, defense, attack, mean, std, asr)
+    keys, attacks = [], []
+    for env, defense, attack, mean, std, asr in cells:
+        if (env, defense) not in keys:
+            keys.append((env, defense))
+        if attack not in attacks:
+            attacks.append(attack)
+    rows = []
+    for env, defense in keys:
+        row = [env, defense]
+        for attack in attacks:
+            hit = [c for c in cells if c[0] == env and c[1] == defense and c[2] == attack]
+            row.append(f"{hit[0][3]} ± {hit[0][4]} ({hit[0][5]}%)" if hit else "—")
+        rows.append(row)
+    return fmt_table(rows, ["Env", "Victim"] + [a.upper() for a in attacks])
+
+
+def pivot_table2(cells):
+    keys, attacks = [], []
+    for env, attack, mean, std, asr in cells:
+        if env not in keys:
+            keys.append(env)
+        if attack not in attacks:
+            attacks.append(attack)
+    rows = []
+    for env in keys:
+        row = [env]
+        for attack in attacks:
+            hit = [c for c in cells if c[0] == env and c[1] == attack]
+            row.append(f"{hit[0][2]} ± {hit[0][3]}" if hit else "—")
+        rows.append(row)
+    return fmt_table(rows, ["Env"] + [a.upper() for a in attacks])
+
+
+def include(name: str) -> str:
+    path = RESULTS / f"{name}.txt"
+    if not path.exists():
+        return "_(not produced in this battery — regenerate via the bench)_"
+    return "```\n" + path.read_text().strip() + "\n```"
+
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+All measured numbers come from `scripts/run_short_experiments.py`
+(`short` scale: victims 30 x 2048 steps; attacks 60 x 2048 ~ 123k samples
+for single-agent tasks and 24 x 2048 for games; 30-episode evaluations;
+seed 0) on one CPU core.  The paper uses MuJoCo victims trained for
+millions of steps and attacks trained for 5-20M samples, so **absolute
+values are not comparable**; the unit of reproduction is the *shape* of
+each claim (who wins, roughly by what factor, where the crossovers are).
+Substitutions are catalogued in DESIGN.md.  Raw outputs:
+`artifacts/short_run.log`, `artifacts/results/`.
+"""
+
+
+def main() -> None:
+    table1, table2, figs = parse_log()
+    parts = [HEADER]
+
+    parts.append("""## Table 1 — dense-reward locomotion (victim reward under attack)
+
+**Paper:** vanilla PPO collapses (Hopper 3167 -> 80 under both SA-RL and
+IMAP); defended victims lose less but the right IMAP variant still cuts
+WocaR by 34-54%; best-IMAP <= SA-RL on 15/22 rows; IMAP-PC best average.
+
+**Measured (Hopper slice, cells are `reward ± std (ASR)`):**
+""")
+    parts.append(pivot_table1(table1) if table1 else "_(battery incomplete)_")
+    parts.append("""
+**Shape assessment:**
+
+* Vanilla PPO collapses under IMAP-R — 372 -> **80 ± 3, 100% ASR**
+  (coincidentally the paper's exact Hopper value, 80 ± 2) — while Random
+  barely moves it. **Matches.**
+* SA-RL at the same budget fails to find the vulnerability (0% ASR):
+  the paper's dithering-exploration critique, amplified by our 40x
+  smaller sample budget.  Direction matches (IMAP >= SA-RL everywhere);
+  magnitude of the SA-RL column does not (the paper's SA-RL, given 20x
+  more samples, does collapse vanilla victims). **Partially matches.**
+* Defended victims (SA / WocaR / ATLA) resist all learned attacks at
+  this budget, and WocaR is the strongest — the paper's ordering.  The
+  calibrated scripted probe (sensor-flip at the same ε) still degrades
+  them (SA -16%/27% ASR, WocaR -15%/13% ASR), i.e. residual
+  vulnerabilities exist but need more attack samples than the short
+  budget provides. **Ordering matches; "IMAP evades every defense"
+  reproduces only at larger budgets.**
+""")
+
+    parts.append("""## Table 2 / Table 3 — sparse-reward tasks (+ bias reduction)
+
+**Paper:** IMAP dominates SA-RL on 9/9 sparse tasks; the winning
+regularizer is task-dependent (R for unstable locomotion, PC/D
+elsewhere); BR improves IMAP on about half the tasks.
+
+**Measured (three-task slice, victim sparse return, lower = stronger attack):**
+""")
+    parts.append(pivot_table2(table2) if table2 else "_(battery incomplete)_")
+    parts.append(include("table2_table3"))
+
+    parts.append("""## Figure 4 — sparse-task attack learning curves
+""")
+    parts.append(include("fig4"))
+
+    parts.append("""## Figure 5 — competitive games (ASR curves)
+
+**Paper:** IMAP-PC+BR lifts YouShallNotPass ASR 59.64% -> 83.91% over
+AP-MARL at a fixed 20M-sample budget; KickAndDefend 47.02% -> 56.96%.
+""")
+    parts.append(include("fig5"))
+
+    parts.append("""## Figure 6 — BR step size η ablation
+
+**Paper:** IMAP is insensitive to η (larger slightly better).
+""")
+    parts.append(include("fig6"))
+
+    parts.append("""## Figure 7 — mixing weight ξ ablation
+
+**Paper:** robust to ξ; the adversary-space coverage term is critical
+(ξ = 1, victim-space only, underperforms).
+""")
+    parts.append(include("fig7"))
+
+    if figs:
+        lines = [f"* fig{n} {env} {attack}: {value}" for n, env, attack, value in figs]
+        parts.append("### Figure finals parsed from the log\n\n" + "\n".join(lines))
+
+    Path("EXPERIMENTS.md").write_text("\n".join(parts) + "\n")
+    print("wrote EXPERIMENTS.md")
+
+
+if __name__ == "__main__":
+    main()

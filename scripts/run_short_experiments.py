@@ -1,0 +1,110 @@
+"""Run the short-scale experiment battery and dump results to
+``artifacts/results/``.  Used to populate EXPERIMENTS.md.
+
+Trimmed to a representative subset per table/figure so the battery fits
+a single-core budget; the bench files expose the full grids.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    SCALES,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.table3 import br_improvement_count, render_table3
+
+OUT = Path("artifacts/results")
+OUT.mkdir(parents=True, exist_ok=True)
+SCALE = SCALES["short"]
+
+
+def save(name: str, text: str, payload=None) -> None:
+    (OUT / f"{name}.txt").write_text(text)
+    if payload is not None:
+        (OUT / f"{name}.json").write_text(json.dumps(payload, indent=2, default=float))
+    print(f"=== saved {name} ===\n{text}\n", flush=True)
+
+
+def main() -> None:
+    t0 = time.time()
+
+    # ---- Table 1 (representative slice) --------------------------------
+    t1 = run_table1(
+        env_ids=["Hopper-v0"],
+        defenses=["ppo", "sa", "wocar", "atla"],
+        attacks=["none", "random", "sarl", "imap-pc", "imap-r"],
+        scale=SCALE, seed=0,
+    )
+    save("table1", t1.render(attacks=["none", "random", "sarl", "imap-pc", "imap-r"]),
+         [c.__dict__ for c in t1.cells])
+    print(f"[t={time.time()-t0:.0f}s] table1 done", flush=True)
+
+    # ---- Table 2 / Table 3 (four tasks, with BR) ------------------------
+    t2 = run_table2(
+        env_ids=["SparseHopper-v0", "AntUMaze-v0", "FetchReach-v0"],
+        attacks=["none", "random", "sarl", "imap-sc", "imap-pc", "imap-r", "imap-d"],
+        include_br=True, scale=SCALE, seed=0,
+    )
+    wins, total = t2.imap_dominates_sarl_count()
+    improved, total3 = br_improvement_count(t2)
+    text = (t2.render() + f"\nbest-IMAP <= SA-RL on {wins}/{total} tasks"
+            + f"\nBR improves some variant on {improved}/{total3} tasks"
+            + "\n\n" + render_table3(t2))
+    save("table2_table3", text, [c.__dict__ for c in t2.cells])
+    print(f"[t={time.time()-t0:.0f}s] table2/3 done", flush=True)
+
+    # ---- Figure 5 (YouShallNotPass; KickAndDefend via the bench) ---------
+    f5 = run_fig5(game_ids=["YouShallNotPass-v0"], scale=SCALE, seed=0)
+    lines = []
+    payload = {}
+    for game_id, data in f5.items():
+        lines.append(data["curves"].render(y_name="asr"))
+        for attack, asr in data["final_asr"].items():
+            lines.append(f"  {attack}: final ASR {asr:.2%}")
+        payload[game_id] = {
+            "final_asr": data["final_asr"],
+            "curves": {k: {"x": c.x, "y": c.y} for k, c in data["curves"].curves.items()},
+        }
+        data["curves"].to_json(OUT / f"fig5_{game_id}.curves.json")
+    save("fig5", "\n".join(lines), payload)
+    print(f"[t={time.time()-t0:.0f}s] fig5 done", flush=True)
+
+    # ---- Figure 4 (two sparse tasks) ------------------------------------
+    f4 = run_fig4(env_ids=["SparseWalker2d-v0"],
+                  attacks=["sarl", "imap-pc", "imap-r"], scale=SCALE, seed=0)
+    lines = []
+    for env_id, figure in f4.items():
+        lines.append(figure.render(y_name="victim success"))
+        figure.to_json(OUT / f"fig4_{env_id}.curves.json")
+    save("fig4", "\n\n".join(lines))
+    print(f"[t={time.time()-t0:.0f}s] fig4 done", flush=True)
+
+    # ---- Figure 6 / Figure 7 ablations ----------------------------------
+    f6 = run_fig6(env_id="SparseHopper-v0", etas=[0.1, 1.0], scale=SCALE, seed=0)
+    save("fig6",
+         f6["curves"].render(y_name="victim success")
+         + "\n" + "\n".join(f"eta={k}: victim reward {v:.2f}"
+                            for k, v in f6["final_reward"].items()),
+         {"final_reward": {str(k): v for k, v in f6["final_reward"].items()}})
+    print(f"[t={time.time()-t0:.0f}s] fig6 done", flush=True)
+
+    f7 = run_fig7(xis=[0.5, 1.0], scale=SCALE, seed=0)
+    save("fig7",
+         f7["curves"].render(y_name="asr")
+         + "\n" + "\n".join(f"xi={k}: final ASR {v:.2%}"
+                            for k, v in f7["final_asr"].items()),
+         {"final_asr": {str(k): v for k, v in f7["final_asr"].items()}})
+    print(f"[t={time.time()-t0:.0f}s] ALL DONE", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""repro — reproduction of "Toward Evaluating Robustness of Reinforcement
+Learning with Adversarial Policy" (IMAP, DSN 2024).
+
+Public entry points:
+
+* :mod:`repro.envs`     — environment suite (``repro.envs.make``)
+* :mod:`repro.rl`       — PPO and rollout machinery
+* :mod:`repro.attacks`  — SA-RL, AP-MARL, Random, and the IMAP family
+* :mod:`repro.defenses` — victim training with robustness defenses
+* :mod:`repro.zoo`      — cached victim checkpoints
+* :mod:`repro.eval`     — attack-evaluation harness and table renderers
+* :mod:`repro.experiments` — per-table/figure experiment runners
+"""
+
+__version__ = "1.0.0"

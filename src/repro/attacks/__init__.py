@@ -1,0 +1,29 @@
+"""Adversarial-policy attacks: baselines (SA-RL, AP-MARL, Random) and IMAP."""
+
+from . import imap
+from .apmarl import train_apmarl
+from .base import AdversaryRollout, AttackConfig, AttackResult
+from .gradient import CriticPgdAttack, PgdAttack, StrategicallyTimedAttack
+from .imap import REGULARIZER_NAMES, imap_name, train_imap
+from .random_attack import RandomAttackPolicy
+from .sarl import DenseRewardAdversaryWrapper, train_sarl
+from .threat_models import (
+    EPSILON_BUDGETS,
+    OpponentEnv,
+    StatePerturbationEnv,
+    default_epsilon,
+    project_perturbation,
+)
+from .trainer import AdversaryTrainer, collect_adversary_rollout
+
+__all__ = [
+    "AttackConfig", "AttackResult", "AdversaryRollout",
+    "AdversaryTrainer", "collect_adversary_rollout",
+    "StatePerturbationEnv", "OpponentEnv",
+    "project_perturbation", "EPSILON_BUDGETS", "default_epsilon",
+    "train_sarl", "DenseRewardAdversaryWrapper",
+    "train_apmarl", "train_imap", "imap_name", "REGULARIZER_NAMES",
+    "RandomAttackPolicy",
+    "PgdAttack", "CriticPgdAttack", "StrategicallyTimedAttack",
+    "imap",
+]

@@ -1,0 +1,22 @@
+"""AP-MARL baseline (Gleave et al., 2019).
+
+Policy optimization of the opponent against a fixed victim with the
+sparse game outcome as reward and dithering Gaussian exploration — the
+shared trainer on an :class:`~repro.attacks.threat_models.OpponentEnv`
+with no intrinsic regularizer.
+"""
+
+from __future__ import annotations
+
+from .base import AttackConfig, AttackResult
+from .threat_models import OpponentEnv
+from .trainer import AdversaryTrainer
+
+__all__ = ["train_apmarl"]
+
+
+def train_apmarl(adversary_env: OpponentEnv, config: AttackConfig,
+                 callback=None) -> AttackResult:
+    """Train the AP-MARL baseline opponent policy."""
+    trainer = AdversaryTrainer(adversary_env, config, regularizer=None, name="AP-MARL")
+    return trainer.train(callback=callback)

@@ -1,0 +1,96 @@
+"""Common types for adversarial-policy training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..rl.policy import ActorCritic
+from ..rl.ppo import PPOConfig
+
+__all__ = ["AttackConfig", "AttackResult", "AdversaryRollout"]
+
+
+@dataclass
+class AttackConfig:
+    """Budget and hyperparameters for training an adversarial policy."""
+
+    iterations: int = 30
+    steps_per_iteration: int = 2048
+    hidden_sizes: tuple[int, ...] = (64, 64)
+    seed: int = 0
+    # "Hot" PPO settings: adversarial-policy learning needs aggressive
+    # optimization to escape the all-episodes-succeed plateau (no early
+    # KL stop, higher lr, more epochs).
+    ppo: PPOConfig = field(default_factory=lambda: PPOConfig(
+        learning_rate=1e-3, entropy_coef=1e-4, target_kl=None,
+        epochs=10, minibatches=8))
+    # IMAP-specific knobs (ignored by the baselines)
+    tau0: float = 1.0
+    intrinsic_reward_scale: float = 0.1
+    knn_k: int = 5
+    xi: float = 0.5        # victim-space mixing weight for multi-agent SC/PC
+    use_bias_reduction: bool = False
+    br_eta: float = 0.5    # Lagrangian step size η (Eq. 17)
+    union_buffer_capacity: int = 50_000
+    mimic_train_steps: int = 40
+    mimic_buffer_capacity: int = 20_000
+    # Keep the checkpoint with the best training-time ASR (the paper's
+    # attackers train several policies and deploy the best one).
+    select_best: bool = True
+    # Ablation: fold τ·r_I into the extrinsic channel and use one value
+    # head instead of the default dual-head critic (Eq. 14).
+    single_value_head: bool = False
+
+
+@dataclass
+class AdversaryRollout:
+    """One iteration of adversary experience plus the KNN feature streams."""
+
+    obs: np.ndarray
+    actions: np.ndarray
+    log_probs: np.ndarray
+    rewards: np.ndarray            # surrogate adversary reward -r̂
+    values_e: np.ndarray
+    values_i: np.ndarray
+    dones: np.ndarray
+    terminated: np.ndarray
+    bootstrap_e: np.ndarray
+    bootstrap_i: np.ndarray
+    knn_victim: np.ndarray         # Π_{S^v}(s) features per step
+    knn_adversary: np.ndarray      # Π_{S^α}(s) features per step
+    episode_rewards: list[float]   # adversary episode returns (J^AP samples)
+    episode_victim_rewards: list[float]
+    episode_successes: list[bool]  # victim succeeded?
+
+    def __len__(self) -> int:
+        return len(self.obs)
+
+    @property
+    def j_ap(self) -> float:
+        """Monte-Carlo estimate of the attack objective J^AP (Eq. 3)."""
+        if not self.episode_rewards:
+            return 0.0
+        return float(np.mean(self.episode_rewards))
+
+    @property
+    def victim_success_rate(self) -> float:
+        if not self.episode_successes:
+            return 0.0
+        return float(np.mean(self.episode_successes))
+
+
+@dataclass
+class AttackResult:
+    """A trained adversarial policy plus its learning history."""
+
+    policy: ActorCritic
+    history: list[dict[str, float]]
+    name: str = "attack"
+
+    def curve(self, key: str = "victim_success_rate") -> tuple[np.ndarray, np.ndarray]:
+        """(cumulative samples, metric) learning curve for figures."""
+        samples = np.cumsum([h["samples"] for h in self.history])
+        values = np.array([h[key] for h in self.history])
+        return samples, values

@@ -1,0 +1,129 @@
+"""White-box gradient-based evasion baselines (paper Section 2 /
+Appendix A related work).
+
+These are the FGSM-family attacks the adversarial-policy literature
+compares against.  They *break the black-box threat model* (they need
+the victim's parameters for input gradients) and are provided as upper
+reference points and for building ATLA-style curricula:
+
+* :class:`PgdAttack` — per-step projected gradient descent maximizing
+  the KL shift of the victim's action distribution (Zhang et al.'s
+  "Maximal Action Difference" flavour);
+* :class:`CriticPgdAttack` — PGD minimizing the victim's own value
+  estimate (Pattanaik-style);
+* :class:`StrategicallyTimedAttack` — Lin et al.'s timing heuristic:
+  spend the budget only on steps where the victim's action preference
+  is strong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..rl.policy import ActorCritic
+
+__all__ = ["PgdAttack", "CriticPgdAttack", "StrategicallyTimedAttack"]
+
+
+class PgdAttack:
+    """PGD on KL(π(s) ‖ π(s+δ)) — maximally shift the victim's action."""
+
+    def __init__(self, victim: ActorCritic, steps: int = 5, step_size: float = 0.5,
+                 seed: int = 0):
+        self.victim = victim
+        self.steps = steps
+        self.step_size = step_size
+        self._rng = np.random.default_rng(seed)
+
+    def _anchor(self, obs: np.ndarray):
+        from ..nn import DiagGaussian
+
+        with nn.no_grad():
+            mean = self.victim.distribution(obs).mean.data.copy()
+        return DiagGaussian(Tensor(mean), Tensor(self.victim.log_std.data.copy()))
+
+    def action(self, obs: np.ndarray, rng: np.random.Generator | None = None,
+               deterministic: bool = True) -> np.ndarray:
+        """Return a raw action in [-1, 1]^d (the env scales it into the ε-ball).
+
+        The inner PGD works in units of the budget: δ_raw accumulates in
+        [-1, 1] and the threat model multiplies by ε.
+        """
+        anchor = self._anchor(obs)
+        delta = self._rng.uniform(-0.25, 0.25, size=obs.shape)
+        for _ in range(self.steps):
+            x = Tensor(obs + delta, requires_grad=True)
+            kl = anchor.kl(self.victim.distribution(x)).mean()
+            for p in self.victim.parameters():
+                p.zero_grad()
+            kl.backward()
+            grad = x.grad if x.grad is not None else np.zeros_like(obs)
+            delta = np.clip(delta + self.step_size * np.sign(grad), -1.0, 1.0)
+        for p in self.victim.parameters():
+            p.zero_grad()
+        return delta
+
+
+class CriticPgdAttack:
+    """PGD minimizing the victim's value estimate V(s+δ)."""
+
+    def __init__(self, victim: ActorCritic, steps: int = 5, step_size: float = 0.5,
+                 seed: int = 0):
+        self.victim = victim
+        self.steps = steps
+        self.step_size = step_size
+        self._rng = np.random.default_rng(seed)
+
+    def action(self, obs: np.ndarray, rng: np.random.Generator | None = None,
+               deterministic: bool = True) -> np.ndarray:
+        delta = self._rng.uniform(-0.25, 0.25, size=obs.shape)
+        for _ in range(self.steps):
+            x = Tensor(obs + delta, requires_grad=True)
+            value = self.victim.critic(x).sum()
+            for p in self.victim.parameters():
+                p.zero_grad()
+            value.backward()
+            grad = x.grad if x.grad is not None else np.zeros_like(obs)
+            delta = np.clip(delta - self.step_size * np.sign(grad), -1.0, 1.0)
+        for p in self.victim.parameters():
+            p.zero_grad()
+        return delta
+
+
+class StrategicallyTimedAttack:
+    """Attack only at "critical" steps (Lin et al., 2017).
+
+    Criticality is measured by the victim's action-preference strength
+    ‖μ(s)‖∞: when the victim is about to act decisively, a perturbation
+    is most damaging.  The budget is spent on the top fraction of steps.
+    """
+
+    def __init__(self, victim: ActorCritic, inner_attack, attack_fraction: float = 0.3,
+                 calibration_obs: np.ndarray | None = None):
+        if not 0.0 < attack_fraction <= 1.0:
+            raise ValueError("attack_fraction must be in (0, 1]")
+        self.victim = victim
+        self.inner = inner_attack
+        self.attack_fraction = attack_fraction
+        self._threshold = 0.0
+        if calibration_obs is not None:
+            self.calibrate(calibration_obs)
+
+    def preference(self, obs: np.ndarray) -> float:
+        with nn.no_grad():
+            mean = self.victim.distribution(obs).mean.data
+        return float(np.abs(mean).max())
+
+    def calibrate(self, observations: np.ndarray) -> float:
+        """Set the criticality threshold from a batch of (normalized) obs."""
+        prefs = np.array([self.preference(o) for o in np.atleast_2d(observations)])
+        self._threshold = float(np.quantile(prefs, 1.0 - self.attack_fraction))
+        return self._threshold
+
+    def action(self, obs: np.ndarray, rng: np.random.Generator | None = None,
+               deterministic: bool = True) -> np.ndarray:
+        if self.preference(obs) < self._threshold:
+            return np.zeros_like(obs)
+        return self.inner.action(obs, rng, deterministic=deterministic)

@@ -1,0 +1,21 @@
+"""IMAP: intrinsically motivated adversarial policy learning."""
+
+from .imap import imap_name, train_imap
+from .mimic import MimicPolicy
+from .regularizers import (
+    REGULARIZER_NAMES,
+    DivergenceRegularizer,
+    IntrinsicRegularizer,
+    PolicyCoverageRegularizer,
+    RiskRegularizer,
+    StateCoverageRegularizer,
+    make_regularizer,
+)
+
+__all__ = [
+    "train_imap", "imap_name",
+    "MimicPolicy",
+    "IntrinsicRegularizer", "StateCoverageRegularizer", "PolicyCoverageRegularizer",
+    "RiskRegularizer", "DivergenceRegularizer", "make_regularizer",
+    "REGULARIZER_NAMES",
+]

@@ -1,0 +1,43 @@
+"""IMAP attack assembly (Algorithm 1).
+
+``IMAP = PPO + adversarial intrinsic regularizer (+ optional BR)`` on
+top of the shared :class:`~repro.attacks.trainer.AdversaryTrainer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ...envs.core import Env
+from ..base import AttackConfig, AttackResult
+from ..trainer import AdversaryTrainer
+from .regularizers import make_regularizer
+
+__all__ = ["train_imap", "imap_name"]
+
+
+def imap_name(regularizer: str, use_bias_reduction: bool = False) -> str:
+    name = f"IMAP-{regularizer.upper()}"
+    return f"{name}+BR" if use_bias_reduction else name
+
+
+def train_imap(adversary_env: Env, regularizer: str, config: AttackConfig,
+               multi_agent: bool = False, use_bias_reduction: bool | None = None,
+               risk_target: np.ndarray | None = None, callback=None) -> AttackResult:
+    """Train an IMAP adversarial policy on an adversary MDP.
+
+    ``regularizer`` is one of ``sc``/``pc``/``r``/``d``.  ``multi_agent``
+    switches the SC/PC regularizers to their ξ-mixed variants (Eq. 7/9).
+    ``use_bias_reduction`` overrides ``config.use_bias_reduction``.
+    """
+    if use_bias_reduction is not None:
+        config = replace(config, use_bias_reduction=use_bias_reduction)
+    module = make_regularizer(regularizer, config, multi_agent=multi_agent,
+                              risk_target=risk_target)
+    trainer = AdversaryTrainer(
+        adversary_env, config, regularizer=module,
+        name=imap_name(regularizer, config.use_bias_reduction),
+    )
+    return trainer.train(callback=callback)

@@ -1,0 +1,172 @@
+"""The four adversarial intrinsic regularizers (Section 5.2).
+
+Each regularizer turns the Frank–Wolfe gradient of its objective
+``J_I(d^π)`` (Eq. 13) into a per-step intrinsic bonus, estimated with
+KNN state density over the fresh buffer ``D`` (current iteration) and
+the union buffer ``B`` (all iterations):
+
+* **SC**  — ``∇(−Σ d ln d) ∝ −ln d(s)`` → bonus ``ln dist_D(s)``
+* **PC**  — ``∇(Σ √(d/ρ)) ∝ 1/√(d·ρ)`` → bonus ``√(dist_D(s)·dist_B(s))``
+* **R**   — bonus ``−‖Π_{S^v}(s) − s^{v(α)}‖`` (no density needed)
+* **D**   — bonus ``KL(π^α(·|s), π^{α,m}(·|s))`` against a mimic policy
+
+Multi-agent variants (Eq. 7/9) mix the adversary-space and victim-space
+bonuses with weight ξ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...density import KnnDensityEstimator, StateBuffer, UnionStateBuffer
+from ...nn import no_grad
+from ...rl.policy import ActorCritic
+from ..base import AdversaryRollout, AttackConfig
+from .mimic import MimicPolicy
+
+__all__ = [
+    "IntrinsicRegularizer",
+    "StateCoverageRegularizer",
+    "PolicyCoverageRegularizer",
+    "RiskRegularizer",
+    "DivergenceRegularizer",
+    "make_regularizer",
+    "REGULARIZER_NAMES",
+]
+
+REGULARIZER_NAMES = ("sc", "pc", "r", "d")
+
+
+class IntrinsicRegularizer:
+    """Interface: per-rollout intrinsic bonuses + buffer bookkeeping."""
+
+    def __init__(self, config: AttackConfig, multi_agent: bool = False):
+        self.config = config
+        self.multi_agent = multi_agent
+
+    def compute(self, rollout: AdversaryRollout, policy: ActorCritic) -> np.ndarray:
+        raise NotImplementedError
+
+    def after_update(self, rollout: AdversaryRollout, policy: ActorCritic) -> None:
+        """Called once per iteration after the PPO update."""
+
+    # ------------------------------------------------------------- utilities
+
+    def _mix(self, adversary_bonus: np.ndarray, victim_bonus: np.ndarray) -> np.ndarray:
+        """ξ-weighted mixture of the two projection spaces (Eq. 7/9)."""
+        if not self.multi_agent:
+            return adversary_bonus
+        xi = self.config.xi
+        return (1.0 - xi) * adversary_bonus + xi * victim_bonus
+
+
+class StateCoverageRegularizer(IntrinsicRegularizer):
+    """SC-driven: maximize the entropy of the current state distribution."""
+
+    def _bonus(self, features: np.ndarray) -> np.ndarray:
+        estimator = KnnDensityEstimator(features, k=self.config.knn_k)
+        distances = estimator.distance(features, exclude_self=True)
+        return np.log(distances + 1.0)
+
+    def compute(self, rollout: AdversaryRollout, policy: ActorCritic) -> np.ndarray:
+        adversary = self._bonus(rollout.knn_adversary)
+        if not self.multi_agent:
+            return adversary
+        return self._mix(adversary, self._bonus(rollout.knn_victim))
+
+
+class PolicyCoverageRegularizer(IntrinsicRegularizer):
+    """PC-driven: visit where the historical coverage ρ = Σ_i d^{π_i} is thin."""
+
+    def __init__(self, config: AttackConfig, multi_agent: bool = False):
+        super().__init__(config, multi_agent)
+        self._union_adv = UnionStateBuffer(config.union_buffer_capacity, seed=config.seed)
+        self._union_vic = UnionStateBuffer(config.union_buffer_capacity, seed=config.seed + 1)
+
+    def _bonus(self, features: np.ndarray, union: UnionStateBuffer) -> np.ndarray:
+        fresh = KnnDensityEstimator(features, k=self.config.knn_k)
+        dist_d = fresh.distance(features, exclude_self=True)
+        if len(union) == 0:
+            dist_b = np.ones_like(dist_d)
+        else:
+            historical = KnnDensityEstimator(union.states, k=self.config.knn_k)
+            dist_b = historical.distance(features)
+        return np.sqrt(dist_d * dist_b)
+
+    def compute(self, rollout: AdversaryRollout, policy: ActorCritic) -> np.ndarray:
+        adversary = self._bonus(rollout.knn_adversary, self._union_adv)
+        if not self.multi_agent:
+            bonus = adversary
+        else:
+            bonus = self._mix(adversary, self._bonus(rollout.knn_victim, self._union_vic))
+        return bonus
+
+    def after_update(self, rollout: AdversaryRollout, policy: ActorCritic) -> None:
+        # Algorithm 1: B = B ∪ D after the optimizing stage.
+        self._union_adv.extend(rollout.knn_adversary)
+        if self.multi_agent:
+            self._union_vic.extend(rollout.knn_victim)
+
+
+class RiskRegularizer(IntrinsicRegularizer):
+    """R-driven: lure the victim toward the adversarial state s^{v(α)}.
+
+    The default target is the victim's initial state s₀^v (Section 5.2.3),
+    captured lazily from the first victim-space feature observed.
+    """
+
+    def __init__(self, config: AttackConfig, multi_agent: bool = False,
+                 target: np.ndarray | None = None):
+        super().__init__(config, multi_agent)
+        self.target = None if target is None else np.asarray(target, dtype=np.float64)
+
+    def compute(self, rollout: AdversaryRollout, policy: ActorCritic) -> np.ndarray:
+        if self.target is None:
+            self.target = rollout.knn_victim[0].copy()
+        return -np.linalg.norm(rollout.knn_victim - self.target, axis=1)
+
+
+class DivergenceRegularizer(IntrinsicRegularizer):
+    """D-driven: stay KL-far from a mimic of the adversary's past policies."""
+
+    def __init__(self, config: AttackConfig, multi_agent: bool = False):
+        super().__init__(config, multi_agent)
+        self._mimic: MimicPolicy | None = None
+
+    def _ensure_mimic(self, policy: ActorCritic) -> MimicPolicy:
+        if self._mimic is None:
+            self._mimic = MimicPolicy(
+                policy.obs_dim, policy.action_dim,
+                buffer_capacity=self.config.mimic_buffer_capacity,
+                seed=self.config.seed,
+            )
+        return self._mimic
+
+    def compute(self, rollout: AdversaryRollout, policy: ActorCritic) -> np.ndarray:
+        mimic = self._ensure_mimic(policy)
+        if not mimic.trained:
+            return np.zeros(len(rollout))
+        with no_grad():
+            current = policy.distribution(rollout.obs)
+            past = mimic.distribution(rollout.obs)
+            return current.kl(past).data.copy()
+
+    def after_update(self, rollout: AdversaryRollout, policy: ActorCritic) -> None:
+        mimic = self._ensure_mimic(policy)
+        mimic.absorb(rollout.obs, policy)
+        mimic.fit(steps=self.config.mimic_train_steps)
+
+
+def make_regularizer(name: str, config: AttackConfig, multi_agent: bool = False,
+                     risk_target: np.ndarray | None = None) -> IntrinsicRegularizer:
+    """Factory for the four regularizers by short name (sc/pc/r/d)."""
+    name = name.lower()
+    if name == "sc":
+        return StateCoverageRegularizer(config, multi_agent)
+    if name == "pc":
+        return PolicyCoverageRegularizer(config, multi_agent)
+    if name == "r":
+        return RiskRegularizer(config, multi_agent, target=risk_target)
+    if name == "d":
+        return DivergenceRegularizer(config, multi_agent)
+    raise ValueError(f"unknown regularizer {name!r}; options: {REGULARIZER_NAMES}")

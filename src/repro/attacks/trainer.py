@@ -1,0 +1,207 @@
+"""Shared adversarial-policy training loop (Algorithm 1 of the paper).
+
+With ``regularizer=None`` this is exactly the SA-RL / AP-MARL baseline:
+PPO on the adversary MDP with the black-box surrogate reward.  With an
+:class:`~repro.attacks.imap.regularizers.IntrinsicRegularizer` it becomes
+IMAP; with ``use_bias_reduction`` it adds the Lagrangian temperature
+schedule (Eq. 15-17).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..envs.core import Env
+from ..rl.buffers import RolloutBuffer
+from ..rl.policy import ActorCritic
+from ..rl.ppo import PPOUpdater
+from .base import AdversaryRollout, AttackConfig, AttackResult
+
+__all__ = ["collect_adversary_rollout", "AdversaryTrainer"]
+
+
+def collect_adversary_rollout(env: Env, policy: ActorCritic, n_steps: int,
+                              rng: np.random.Generator,
+                              update_normalizer: bool = True) -> AdversaryRollout:
+    """Collect ``n_steps`` of adversary experience, tracking KNN features."""
+    obs_dim = env.observation_space.shape[0]
+    action_dim = env.action_space.shape[0]
+    buffer = RolloutBuffer(n_steps, obs_dim, action_dim)
+    knn_victim: list[np.ndarray] = []
+    knn_adversary: list[np.ndarray] = []
+    episode_rewards: list[float] = []
+    episode_victim_rewards: list[float] = []
+    episode_successes: list[bool] = []
+
+    obs = env.reset()
+    ep_reward, ep_victim, ep_success = 0.0, 0.0, False
+    while not buffer.full:
+        action, log_prob, value_e, value_i, normalized = policy.act(
+            obs, rng, update_normalizer=update_normalizer
+        )
+        next_obs, reward, terminated, truncated, info = env.step(action)
+        done = terminated or truncated
+        ep_reward += reward
+        ep_victim += float(info.get("victim_reward", 0.0))
+        ep_success = ep_success or bool(info.get("success", False))
+        buffer.add(normalized, action, log_prob, reward, value_e, value_i,
+                   done=done, terminated=terminated)
+        knn_victim.append(np.asarray(info["knn_victim"], dtype=np.float64))
+        knn_adversary.append(np.asarray(info["knn_adversary"], dtype=np.float64))
+        index = buffer.ptr - 1
+        if done:
+            if not terminated:
+                _, _, be, bi, _ = policy.act(next_obs, rng)
+                buffer.set_bootstrap(index, be, bi)
+            episode_rewards.append(ep_reward)
+            episode_victim_rewards.append(ep_victim)
+            episode_successes.append(ep_success)
+            obs = env.reset()
+            ep_reward, ep_victim, ep_success = 0.0, 0.0, False
+        else:
+            obs = next_obs
+            if buffer.full:
+                _, _, be, bi, _ = policy.act(obs, rng)
+                buffer.set_bootstrap(index, be, bi)
+
+    n = buffer.ptr
+    return AdversaryRollout(
+        obs=buffer.obs[:n].copy(),
+        actions=buffer.actions[:n].copy(),
+        log_probs=buffer.log_probs[:n].copy(),
+        rewards=buffer.rewards_e[:n].copy(),
+        values_e=buffer.values_e[:n].copy(),
+        values_i=buffer.values_i[:n].copy(),
+        dones=buffer.dones[:n].copy(),
+        terminated=buffer.terminated[:n].copy(),
+        bootstrap_e=buffer.bootstrap_e[:n].copy(),
+        bootstrap_i=buffer.bootstrap_i[:n].copy(),
+        knn_victim=np.asarray(knn_victim),
+        knn_adversary=np.asarray(knn_adversary),
+        episode_rewards=episode_rewards,
+        episode_victim_rewards=episode_victim_rewards,
+        episode_successes=episode_successes,
+    )
+
+
+def _rollout_to_batch(rollout: AdversaryRollout, intrinsic: np.ndarray | None,
+                      gamma: float, lam: float) -> dict[str, np.ndarray]:
+    """Rebuild a PPO batch (with GAE) from an AdversaryRollout."""
+    from ..rl.buffers import compute_gae
+
+    n = len(rollout)
+    boot_e = rollout.bootstrap_e.copy()
+    boot_i = rollout.bootstrap_i.copy()
+    for t in range(n - 1):
+        if rollout.dones[t] < 0.5:
+            boot_e[t] = rollout.values_e[t + 1]
+            boot_i[t] = rollout.values_i[t + 1]
+    boot_e[rollout.terminated >= 0.5] = 0.0
+    boot_i[rollout.terminated >= 0.5] = 0.0
+    boundary = rollout.dones.copy()
+    boundary[-1] = 1.0
+
+    adv_e, ret_e = compute_gae(rollout.rewards, rollout.values_e, boundary, boot_e, gamma, lam)
+    rewards_i = intrinsic if intrinsic is not None else np.zeros(n)
+    adv_i, ret_i = compute_gae(rewards_i, rollout.values_i, boundary, boot_i, gamma, lam)
+    return {
+        "obs": rollout.obs,
+        "actions": rollout.actions,
+        "log_probs": rollout.log_probs,
+        "advantages_e": adv_e,
+        "advantages_i": adv_i,
+        "returns_e": ret_e,
+        "returns_i": ret_i,
+    }
+
+
+class AdversaryTrainer:
+    """PPO loop over an adversary MDP with optional intrinsic regularizer."""
+
+    def __init__(self, env: Env, config: AttackConfig, regularizer=None,
+                 name: str = "attack"):
+        self.env = env
+        self.config = config
+        self.regularizer = regularizer
+        self.name = name
+        rng_init = np.random.default_rng(config.seed)
+        self.policy = ActorCritic(
+            env.observation_space.shape[0],
+            env.action_space.shape[0],
+            hidden_sizes=config.hidden_sizes,
+            dual_value=regularizer is not None and not config.single_value_head,
+            rng=rng_init,
+        )
+        self.updater = PPOUpdater(self.policy, config.ppo)
+        self.rng = np.random.default_rng(config.seed + 7)
+        self.tau = config.tau0 if regularizer is not None else 0.0
+        self._lambda = 0.0
+        self._prev_j_ap: float | None = None
+        self._best_asr = -1.0
+        self._best_state: dict | None = None
+
+    def _bias_reduction_step(self, j_ap: float) -> None:
+        """λ_{k+1} = max(0, λ_k − η (J_k+1 − J_k)); τ = 1/(1+λ) (Eq. 16-17)."""
+        if self._prev_j_ap is not None:
+            self._lambda = max(0.0, self._lambda - self.config.br_eta * (j_ap - self._prev_j_ap))
+            self.tau = 1.0 / (1.0 + self._lambda)
+        self._prev_j_ap = j_ap
+
+    def train(self, callback=None) -> AttackResult:
+        cfg = self.config
+        self.env.seed(cfg.seed)
+        history: list[dict[str, float]] = []
+        for iteration in range(cfg.iterations):
+            rollout = collect_adversary_rollout(
+                self.env, self.policy, cfg.steps_per_iteration, self.rng
+            )
+            intrinsic = None
+            if self.regularizer is not None:
+                intrinsic = self.regularizer.compute(rollout, self.policy)
+                intrinsic = self._standardize(intrinsic) * cfg.intrinsic_reward_scale
+            if cfg.single_value_head and intrinsic is not None:
+                # ablation: one mixed-reward channel instead of Eq. 14's
+                # separate Â_E + τ Â_I estimation
+                rollout.rewards = rollout.rewards + self.tau * intrinsic
+                batch = _rollout_to_batch(rollout, None, cfg.ppo.gamma, cfg.ppo.gae_lambda)
+                diag = self.updater.update(batch, tau=0.0, rng=self.rng)
+            else:
+                batch = _rollout_to_batch(rollout, intrinsic, cfg.ppo.gamma,
+                                          cfg.ppo.gae_lambda)
+                diag = self.updater.update(batch, tau=self.tau, rng=self.rng)
+            if self.regularizer is not None:
+                self.regularizer.after_update(rollout, self.policy)
+            if cfg.use_bias_reduction and self.regularizer is not None:
+                self._bias_reduction_step(rollout.j_ap)
+            record = {
+                "iteration": iteration,
+                "samples": float(len(rollout)),
+                "j_ap": rollout.j_ap,
+                "victim_success_rate": rollout.victim_success_rate,
+                "asr": 1.0 - rollout.victim_success_rate,
+                "mean_victim_reward": (
+                    float(np.mean(rollout.episode_victim_rewards))
+                    if rollout.episode_victim_rewards else 0.0
+                ),
+                "tau": self.tau,
+                "lambda": self._lambda,
+                **diag,
+            }
+            history.append(record)
+            if cfg.select_best and len(rollout.episode_successes) >= 3:
+                asr = record["asr"]
+                if asr >= self._best_asr:
+                    self._best_asr = asr
+                    self._best_state = self.policy.checkpoint_state()
+            if callback is not None:
+                callback(iteration, self.policy, record)
+        if cfg.select_best and self._best_state is not None:
+            self.policy.load_checkpoint_state(self._best_state)
+        return AttackResult(policy=self.policy, history=history, name=self.name)
+
+    @staticmethod
+    def _standardize(values: np.ndarray) -> np.ndarray:
+        std = float(values.std())
+        if std < 1e-8:
+            return values - float(values.mean())
+        return (values - float(values.mean())) / std

@@ -1,0 +1,56 @@
+"""Defense registry: name -> victim trainer.
+
+Every trainer has the signature
+``train(env_factory, config: DefenseTrainConfig) -> ActorCritic`` and
+returns a deployment-ready victim (normalizer frozen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..rl.policy import ActorCritic
+from ..rl.ppo import PPOConfig
+
+__all__ = ["DefenseTrainConfig", "register_defense", "get_defense", "defense_names"]
+
+
+@dataclass
+class DefenseTrainConfig:
+    """Budget shared by all defense trainers."""
+
+    iterations: int = 40
+    steps_per_iteration: int = 2048
+    hidden_sizes: tuple[int, ...] = (64, 64)
+    seed: int = 0
+    epsilon: float = 0.6           # robustness budget the defense trains for
+    regularizer_weight: float = 0.3
+    ppo: PPOConfig = field(default_factory=PPOConfig)
+    # ATLA-specific
+    atla_adversary_iterations: int = 6
+    atla_phases: int = 3
+
+
+DefenseTrainer = Callable[[Callable[[], object], DefenseTrainConfig], ActorCritic]
+
+_DEFENSES: dict[str, DefenseTrainer] = {}
+
+
+def register_defense(name: str):
+    def decorator(fn: DefenseTrainer) -> DefenseTrainer:
+        if name in _DEFENSES:
+            raise ValueError(f"defense {name!r} already registered")
+        _DEFENSES[name] = fn
+        return fn
+    return decorator
+
+
+def get_defense(name: str) -> DefenseTrainer:
+    if name not in _DEFENSES:
+        raise KeyError(f"unknown defense {name!r}; known: {defense_names()}")
+    return _DEFENSES[name]
+
+
+def defense_names() -> list[str]:
+    return sorted(_DEFENSES)

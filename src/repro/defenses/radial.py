@@ -1,0 +1,42 @@
+"""RADIAL defense (Oikarinen et al., 2021): adversarial-loss training.
+
+Realized as training on randomly perturbed observations (slightly
+inflated budget) plus a mild adversarial (random-start FGSM) KL loss —
+the empirical surrogate of RADIAL's output bound.  The adversarial term
+is kept small: on this substrate a strong output-smoothness pressure
+removes the stabilizing feedback the task requires (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rl.policy import ActorCritic
+from .base import DefenseTrainConfig, register_defense
+from .perturbed_training import RandomNoisePerturbation, train_with_perturbation
+from .smoothing import adversarial_smoothness_loss
+
+__all__ = ["train_radial", "make_radial_loss"]
+
+
+def make_radial_loss(epsilon: float, weight: float, seed: int = 0):
+    rng = np.random.default_rng(seed)
+
+    def extra_loss(policy, obs, dist):
+        return adversarial_smoothness_loss(policy, obs, dist, epsilon, rng=rng) * weight
+
+    return extra_loss
+
+
+RADIAL_BUDGET_INFLATION = 1.15
+RADIAL_LOSS_WEIGHT = 0.1
+
+
+@register_defense("radial")
+def train_radial(env_factory, config: DefenseTrainConfig) -> ActorCritic:
+    inflated = RADIAL_BUDGET_INFLATION * config.epsilon
+    return train_with_perturbation(
+        env_factory, config,
+        perturbation_builder=lambda rng: RandomNoisePerturbation(inflated, rng),
+        extra_loss=make_radial_loss(config.epsilon, RADIAL_LOSS_WEIGHT, config.seed),
+    )

@@ -1,0 +1,36 @@
+"""SA defense (Zhang et al., 2020): smooth-policy regularization.
+
+Realized on this substrate as training on randomly perturbed
+observations (the smoothed neighbourhood the convex relaxation bounds)
+plus the KL smoothness term E_δ KL(π(·|s) ‖ π(·|s+δ)).  See DESIGN.md
+"Substitutions" for why the loss term alone is insufficient here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rl.policy import ActorCritic
+from .base import DefenseTrainConfig, register_defense
+from .perturbed_training import RandomNoisePerturbation, train_with_perturbation
+from .smoothing import random_smoothness_loss
+
+__all__ = ["train_sa", "make_sa_loss"]
+
+
+def make_sa_loss(epsilon: float, weight: float, seed: int = 0):
+    rng = np.random.default_rng(seed)
+
+    def extra_loss(policy, obs, dist):
+        return random_smoothness_loss(policy, obs, dist, epsilon, rng) * weight
+
+    return extra_loss
+
+
+@register_defense("sa")
+def train_sa(env_factory, config: DefenseTrainConfig) -> ActorCritic:
+    return train_with_perturbation(
+        env_factory, config,
+        perturbation_builder=lambda rng: RandomNoisePerturbation(config.epsilon, rng),
+        extra_loss=make_sa_loss(config.epsilon, config.regularizer_weight, config.seed),
+    )

@@ -1,0 +1,25 @@
+"""Vanilla PPO victim (the "PPO (va.)" rows of Table 1)."""
+
+from __future__ import annotations
+
+from ..rl.policy import ActorCritic
+from ..rl.trainer import TrainConfig, train_ppo
+from .base import DefenseTrainConfig, register_defense
+
+__all__ = ["train_vanilla"]
+
+
+@register_defense("ppo")
+def train_vanilla(env_factory, config: DefenseTrainConfig) -> ActorCritic:
+    result = train_ppo(
+        env_factory(),
+        TrainConfig(
+            iterations=config.iterations,
+            steps_per_iteration=config.steps_per_iteration,
+            hidden_sizes=config.hidden_sizes,
+            seed=config.seed,
+            ppo=config.ppo,
+        ),
+    )
+    result.policy.freeze_normalizer()
+    return result.policy

@@ -1,0 +1,46 @@
+"""WocaR defense (Liang et al., 2022): worst-case-aware robust training.
+
+WocaR estimates the worst-case value under bounded perturbation and
+optimizes it alongside the task objective, without training an attacker.
+Realized here as training on randomly perturbed observations at an
+*inflated* budget (1.3 ε — worst-case awareness means optimizing a
+stronger bound than the attack budget) plus a worst-case value hinge:
+states whose value collapses under a one-step worst-case perturbation
+are penalized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..rl.policy import ActorCritic
+from .base import DefenseTrainConfig, register_defense
+from .perturbed_training import RandomNoisePerturbation, train_with_perturbation
+from .smoothing import fgsm_perturbation
+
+__all__ = ["train_wocar", "make_wocar_loss"]
+
+
+def make_wocar_loss(epsilon: float, weight: float, seed: int = 0):
+    rng = np.random.default_rng(seed)
+
+    def extra_loss(policy, obs, dist):
+        delta = fgsm_perturbation(policy, obs, epsilon, rng=rng)
+        value_gap = policy.value(obs) - policy.value(obs + delta)
+        return F.maximum(value_gap, 0.0).mean() * weight
+
+    return extra_loss
+
+
+WOCAR_BUDGET_INFLATION = 1.3
+
+
+@register_defense("wocar")
+def train_wocar(env_factory, config: DefenseTrainConfig) -> ActorCritic:
+    inflated = WOCAR_BUDGET_INFLATION * config.epsilon
+    return train_with_perturbation(
+        env_factory, config,
+        perturbation_builder=lambda rng: RandomNoisePerturbation(inflated, rng),
+        extra_loss=make_wocar_loss(config.epsilon, config.regularizer_weight, config.seed),
+    )

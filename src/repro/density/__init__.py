@@ -1,0 +1,8 @@
+"""State-density estimation: KNN estimators and the D/B replay buffers."""
+
+from .buffers import StateBuffer, UnionStateBuffer
+from .knn import KnnDensityEstimator, knn_distances
+from .parzen import ParzenDensityEstimator
+
+__all__ = ["StateBuffer", "UnionStateBuffer", "KnnDensityEstimator",
+           "ParzenDensityEstimator", "knn_distances"]

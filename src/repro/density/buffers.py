@@ -1,0 +1,76 @@
+"""Replay buffers for Algorithm 1: the fresh buffer ``D`` and union ``B``.
+
+``D`` holds only the latest iteration's states (the basis for the current
+state distribution d^π); ``B`` accumulates every iteration's states (the
+policy coverage ρ = Σ_i d^{π_i}).  ``B`` is capped with reservoir
+sampling so long runs stay O(capacity) while remaining an unbiased
+sample of the historical mixture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StateBuffer", "UnionStateBuffer"]
+
+
+class StateBuffer:
+    """Fresh-state buffer: replaced wholesale each iteration."""
+
+    def __init__(self):
+        self._states: np.ndarray | None = None
+
+    def replace(self, states: np.ndarray) -> None:
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        self._states = states.copy()
+
+    @property
+    def states(self) -> np.ndarray:
+        if self._states is None:
+            return np.zeros((0, 0))
+        return self._states
+
+    def __len__(self) -> int:
+        return 0 if self._states is None else len(self._states)
+
+
+class UnionStateBuffer:
+    """Reservoir-sampled union of all historical state batches."""
+
+    def __init__(self, capacity: int = 50_000, seed: int = 0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._storage: np.ndarray | None = None
+        self._fill = 0
+        self._seen = 0
+
+    def extend(self, states: np.ndarray) -> None:
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if states.size == 0:
+            return
+        if self._storage is None:
+            self._storage = np.zeros((self.capacity, states.shape[1]))
+        for row in states:
+            self._seen += 1
+            if self._fill < self.capacity:
+                self._storage[self._fill] = row
+                self._fill += 1
+            else:
+                j = int(self._rng.integers(self._seen))
+                if j < self.capacity:
+                    self._storage[j] = row
+
+    @property
+    def states(self) -> np.ndarray:
+        if self._storage is None:
+            return np.zeros((0, 0))
+        return self._storage[: self._fill]
+
+    def __len__(self) -> int:
+        return self._fill
+
+    @property
+    def total_seen(self) -> int:
+        return self._seen

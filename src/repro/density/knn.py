@@ -1,0 +1,61 @@
+"""K-nearest-neighbour state-density estimation (Section 5.2 of the paper).
+
+The paper estimates the adversarial state density as
+``d(s) ≈ 1 / ||s − s*_D||`` where ``s*_D`` is the K-th nearest state in a
+replay buffer.  We back it with a cKDTree; distances come back clipped
+away from zero so downstream ``log``/division are safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["knn_distances", "KnnDensityEstimator"]
+
+_MIN_DISTANCE = 1e-8
+
+
+def knn_distances(queries: np.ndarray, references: np.ndarray, k: int = 5,
+                  exclude_self: bool = False) -> np.ndarray:
+    """Distance from each query to its k-th nearest reference point.
+
+    ``exclude_self=True`` skips the zero-distance match that appears when
+    the queries are themselves contained in ``references``.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    references = np.atleast_2d(np.asarray(references, dtype=np.float64))
+    if len(references) == 0:
+        return np.full(len(queries), 1.0)
+    kth = k + 1 if exclude_self else k
+    kth = min(kth, len(references))
+    tree = cKDTree(references)
+    dists, _ = tree.query(queries, k=kth)
+    if kth == 1:
+        dists = dists[:, None] if dists.ndim == 1 else dists
+    column = dists[:, -1] if dists.ndim == 2 else dists
+    return np.maximum(column, _MIN_DISTANCE)
+
+
+class KnnDensityEstimator:
+    """Density estimate over a fixed reference set: ``d(s) = 1 / dist_k(s)``."""
+
+    def __init__(self, references: np.ndarray, k: int = 5):
+        self.references = np.atleast_2d(np.asarray(references, dtype=np.float64))
+        self.k = k
+        self._tree = cKDTree(self.references) if len(self.references) else None
+
+    def distance(self, queries: np.ndarray, exclude_self: bool = False) -> np.ndarray:
+        if self._tree is None:
+            return np.full(len(np.atleast_2d(queries)), 1.0)
+        kth = min(self.k + (1 if exclude_self else 0), len(self.references))
+        dists, _ = self._tree.query(np.atleast_2d(queries), k=kth)
+        if dists.ndim == 1:
+            dists = dists[:, None]
+        return np.maximum(dists[:, -1], _MIN_DISTANCE)
+
+    def density(self, queries: np.ndarray, exclude_self: bool = False) -> np.ndarray:
+        return 1.0 / self.distance(queries, exclude_self=exclude_self)
+
+    def log_density(self, queries: np.ndarray, exclude_self: bool = False) -> np.ndarray:
+        return -np.log(self.distance(queries, exclude_self=exclude_self))

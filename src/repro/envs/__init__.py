@@ -1,0 +1,33 @@
+"""Environment suite for the reproduction (Gym/MuJoCo substitute).
+
+Use :func:`make` / :func:`make_game` with the ids in :data:`DENSE_TASKS`,
+:data:`SPARSE_TASKS`, and :data:`GAME_TASKS`.
+"""
+
+from . import maze, multiagent, physics
+from .core import Env, TimeLimit, Wrapper
+from .locomotion import LOCOMOTION_CONFIGS, LocomotionConfig, LocomotionEnv
+from .manipulation import FetchReachEnv
+from .navigation import Ant4RoomsEnv, AntUMazeEnv, MazeNavigationEnv
+from .registry import (
+    DENSE_TASKS,
+    GAME_TASKS,
+    SPARSE_TASKS,
+    make,
+    make_game,
+    register,
+    registered_ids,
+)
+from .spaces import Box, Discrete, Space
+from .sparse import SparseLocomotionEnv
+
+__all__ = [
+    "Env", "Wrapper", "TimeLimit",
+    "Space", "Box", "Discrete",
+    "make", "make_game", "register", "registered_ids",
+    "DENSE_TASKS", "SPARSE_TASKS", "GAME_TASKS",
+    "LocomotionEnv", "LocomotionConfig", "LOCOMOTION_CONFIGS",
+    "SparseLocomotionEnv", "MazeNavigationEnv", "AntUMazeEnv", "Ant4RoomsEnv",
+    "FetchReachEnv",
+    "physics", "maze", "multiagent",
+]

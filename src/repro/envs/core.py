@@ -1,0 +1,108 @@
+"""Core environment API (Gym-style step/reset with terminated/truncated).
+
+Conventions used throughout the reproduction:
+
+* ``step`` returns ``(obs, reward, terminated, truncated, info)``.
+* ``info["success"]`` is True on the step where the agent completes the
+  task.  This is the *only* signal the black-box adversary is allowed to
+  observe (the surrogate reward ``r̂ = 1(success)`` of the threat model);
+  the shaped ``reward`` plays the role of the victim's private
+  training-time reward ``r_E^v``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spaces import Space
+
+__all__ = ["Env", "Wrapper", "TimeLimit"]
+
+
+class Env:
+    """Base environment."""
+
+    observation_space: Space
+    action_space: Space
+
+    def __init__(self):
+        self.np_random = np.random.default_rng()
+
+    def seed(self, seed: int | None) -> None:
+        self.np_random = np.random.default_rng(seed)
+
+    def reset(self, seed: int | None = None) -> np.ndarray:
+        if seed is not None:
+            self.seed(seed)
+        return self._reset()
+
+    def _reset(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def step(self, action):
+        raise NotImplementedError
+
+    @property
+    def unwrapped(self) -> "Env":
+        return self
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class Wrapper(Env):
+    """Delegating wrapper; subclasses override the pieces they change."""
+
+    def __init__(self, env: Env):
+        super().__init__()
+        self.env = env
+        self.observation_space = env.observation_space
+        self.action_space = env.action_space
+
+    def seed(self, seed: int | None) -> None:
+        self.env.seed(seed)
+
+    def reset(self, seed: int | None = None):
+        return self.env.reset(seed=seed)
+
+    def step(self, action):
+        return self.env.step(action)
+
+    @property
+    def np_random(self):
+        return self.env.np_random
+
+    @np_random.setter
+    def np_random(self, value):
+        # Env.__init__ assigns a default generator; forward it if possible.
+        if "env" in self.__dict__:
+            self.env.np_random = value
+
+    @property
+    def unwrapped(self) -> Env:
+        return self.env.unwrapped
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}{self.env!r}>"
+
+
+class TimeLimit(Wrapper):
+    """Truncate episodes after ``max_steps`` steps."""
+
+    def __init__(self, env: Env, max_steps: int):
+        super().__init__(env)
+        if max_steps <= 0:
+            raise ValueError("max_steps must be positive")
+        self.max_steps = int(max_steps)
+        self._elapsed = 0
+
+    def reset(self, seed: int | None = None):
+        self._elapsed = 0
+        return self.env.reset(seed=seed)
+
+    def step(self, action):
+        obs, reward, terminated, truncated, info = self.env.step(action)
+        self._elapsed += 1
+        if self._elapsed >= self.max_steps and not terminated:
+            truncated = True
+        return obs, reward, terminated, truncated, info

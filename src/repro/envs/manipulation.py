@@ -1,0 +1,90 @@
+"""Sparse-reward manipulation: a FetchReach proxy.
+
+A three-joint kinematic arm must bring its end effector within a small
+tolerance of a randomly sampled goal.  Success yields +1 and ends the
+episode; running out of time yields the paper's −0.1 failure signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core import Env
+from .spaces import Box
+
+__all__ = ["FetchReachEnv"]
+
+
+class FetchReachEnv(Env):
+    """Planar 3-link reaching task with velocity-command actions."""
+
+    n_joints = 3
+    link_lengths = (0.5, 0.4, 0.3)
+    joint_speed = 1.5
+    dt = 0.05
+    goal_tolerance = 0.08
+    max_steps = 60
+    failure_penalty = -0.1
+
+    def __init__(self, shaped: bool = False):
+        super().__init__()
+        # obs: q(3) qd(3) ee(2) goal(2)  -> 10-dim, like the real FetchReach
+        self.observation_space = Box(-np.inf, np.inf, (10,))
+        self.action_space = Box(-1.0, 1.0, (self.n_joints,))
+        # ``shaped`` enables the victim's private goal-approach reward.
+        self.shaped = shaped
+        self.q = np.zeros(self.n_joints)
+        self.qd = np.zeros(self.n_joints)
+        self.goal = np.zeros(2)
+        self._prev_distance = 0.0
+        self._steps = 0
+
+    # ---------------------------------------------------------------- helpers
+
+    def end_effector(self, q: np.ndarray | None = None) -> np.ndarray:
+        q = self.q if q is None else q
+        angles = np.cumsum(q)
+        x = float(np.sum(np.asarray(self.link_lengths) * np.cos(angles)))
+        y = float(np.sum(np.asarray(self.link_lengths) * np.sin(angles)))
+        return np.array([x, y])
+
+    def _sample_goal(self) -> np.ndarray:
+        reach = sum(self.link_lengths)
+        radius = self.np_random.uniform(0.35 * reach, 0.9 * reach)
+        angle = self.np_random.uniform(-np.pi, np.pi)
+        return radius * np.array([np.cos(angle), np.sin(angle)])
+
+    def _observe(self) -> np.ndarray:
+        return np.concatenate([self.q, self.qd, self.end_effector(), self.goal])
+
+    # ------------------------------------------------------------------- API
+
+    def _reset(self) -> np.ndarray:
+        self.q = self.np_random.uniform(-0.1, 0.1, size=self.n_joints)
+        self.qd = np.zeros(self.n_joints)
+        self.goal = self._sample_goal()
+        self._steps = 0
+        self._prev_distance = float(np.linalg.norm(self.end_effector() - self.goal))
+        return self._observe()
+
+    def step(self, action):
+        action = np.clip(np.asarray(action, dtype=np.float64), -1.0, 1.0)
+        self.qd = self.joint_speed * action
+        self.q = self.q + self.dt * self.qd
+        self.q = np.clip(self.q, -np.pi, np.pi)
+        self._steps += 1
+
+        distance = float(np.linalg.norm(self.end_effector() - self.goal))
+        success = distance <= self.goal_tolerance
+        timeout = self._steps >= self.max_steps and not success
+        if self.shaped:
+            reward = 5.0 * (self._prev_distance - distance) + (5.0 if success else 0.0)
+        elif success:
+            reward = 1.0
+        elif timeout:
+            reward = self.failure_penalty
+        else:
+            reward = 0.0
+        self._prev_distance = distance
+        info = {"success": success, "distance_to_goal": distance}
+        return self._observe(), reward, success, timeout, info

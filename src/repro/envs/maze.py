@@ -1,0 +1,107 @@
+"""Axis-aligned maze geometry: wall rectangles, collision, raycasts.
+
+Shared substrate for the navigation tasks (AntUMaze, Ant4Rooms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Rect", "Maze", "u_maze", "four_rooms"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Solid axis-aligned rectangle (a wall block)."""
+
+    xmin: float
+    xmax: float
+    ymin: float
+    ymax: float
+
+    def contains(self, point: np.ndarray, margin: float = 0.0) -> bool:
+        x, y = float(point[0]), float(point[1])
+        return (
+            self.xmin - margin <= x <= self.xmax + margin
+            and self.ymin - margin <= y <= self.ymax + margin
+        )
+
+
+class Maze:
+    """A set of wall rectangles inside an outer boundary."""
+
+    def __init__(self, bounds: Rect, walls: list[Rect]):
+        self.bounds = bounds
+        self.walls = list(walls)
+
+    def collides(self, point: np.ndarray, radius: float = 0.0) -> bool:
+        x, y = float(point[0]), float(point[1])
+        if not (
+            self.bounds.xmin + radius <= x <= self.bounds.xmax - radius
+            and self.bounds.ymin + radius <= y <= self.bounds.ymax - radius
+        ):
+            return True
+        return any(w.contains(point, margin=radius) for w in self.walls)
+
+    def resolve_move(self, position: np.ndarray, delta: np.ndarray, radius: float = 0.0
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Move ``position`` by ``delta``, sliding along walls.
+
+        Returns ``(new_position, blocked_mask)`` where ``blocked_mask`` is a
+        boolean (2,) array marking which axis hit a wall (its velocity
+        should be zeroed by the caller).
+        """
+        new = position.copy()
+        blocked = np.zeros(2, dtype=bool)
+        for axis in range(2):
+            trial = new.copy()
+            trial[axis] += delta[axis]
+            if self.collides(trial, radius=radius):
+                blocked[axis] = True
+            else:
+                new = trial
+        return new, blocked
+
+    def raycast(self, origin: np.ndarray, angles: np.ndarray, max_range: float = 10.0,
+                step: float = 0.1) -> np.ndarray:
+        """Distance to the nearest wall along each angle (sampled march)."""
+        distances = np.full(len(angles), max_range)
+        directions = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        ts = np.arange(step, max_range + step, step)
+        for i, direction in enumerate(directions):
+            for t in ts:
+                if self.collides(origin + t * direction):
+                    distances[i] = t
+                    break
+        return distances
+
+
+def u_maze(size: float = 3.0, corridor: float = 1.0) -> Maze:
+    """The AntUMaze layout: go around a central tongue wall.
+
+    Start is in the lower-left arm, goal in the upper-left arm; the agent
+    must travel right, around the tongue, and back left.
+    """
+    bounds = Rect(-size, size, -size, size)
+    tongue = Rect(-size, size - 2.0 * corridor, -0.5 * corridor, 0.5 * corridor)
+    return Maze(bounds, [tongue])
+
+
+def four_rooms(size: float = 3.0, door: float = 0.8, thickness: float = 0.2) -> Maze:
+    """Classic four-rooms layout with one door in each dividing wall."""
+    bounds = Rect(-size, size, -size, size)
+    half_door = door / 2.0
+    t = thickness / 2.0
+    walls = [
+        # vertical divider (x == 0) with doors at y = ±size/2
+        Rect(-t, t, -size, -size / 2.0 - half_door),
+        Rect(-t, t, -size / 2.0 + half_door, size / 2.0 - half_door),
+        Rect(-t, t, size / 2.0 + half_door, size),
+        # horizontal divider (y == 0) with doors at x = ±size/2
+        Rect(-size, -size / 2.0 - half_door, -t, t),
+        Rect(-size / 2.0 + half_door, size / 2.0 - half_door, -t, t),
+        Rect(size / 2.0 + half_door, size, -t, t),
+    ]
+    return Maze(bounds, walls)

@@ -1,0 +1,14 @@
+"""Two-player zero-sum competitive games (planar proxies of Bansal et al.)."""
+
+from .bodies import PlanarBody, resolve_contact
+from .core import TwoPlayerEnv
+from .kick_and_defend import KickAndDefendEnv
+from .you_shall_not_pass import YouShallNotPassEnv
+
+__all__ = [
+    "PlanarBody",
+    "resolve_contact",
+    "TwoPlayerEnv",
+    "YouShallNotPassEnv",
+    "KickAndDefendEnv",
+]

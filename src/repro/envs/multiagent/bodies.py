@@ -1,0 +1,121 @@
+"""Planar humanoid-proxy bodies for the competitive games.
+
+Each body is a disc with position, velocity, and a *balance* scalar.
+Collisions shove both bodies apart and drain balance proportionally to
+impact speed; a body whose balance reaches zero falls and stays down for
+the rest of the episode (it stops acting and stops blocking), which is
+how "making the victim trip" is expressed in this substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PlanarBody", "resolve_contact"]
+
+
+@dataclass
+class PlanarBody:
+    """A disc body with balance dynamics."""
+
+    radius: float = 0.4
+    max_force: float = 1.0
+    drag: float = 1.6
+    dt: float = 0.1
+    recover_rate: float = 0.02
+    brace_effect: float = 0.6  # how much bracing reduces knockdown damage
+
+    def __post_init__(self):
+        self.position = np.zeros(2)
+        self.velocity = np.zeros(2)
+        self.balance = 1.0
+        self.brace = 0.0
+        self.fallen = False
+
+    def reset(self, position: np.ndarray) -> None:
+        self.position = np.asarray(position, dtype=np.float64).copy()
+        self.velocity = np.zeros(2)
+        self.balance = 1.0
+        self.brace = 0.0
+        self.fallen = False
+
+    def apply_action(self, action: np.ndarray) -> None:
+        """``action = [fx, fy, brace]`` in [-1, 1]; fallen bodies cannot act."""
+        if self.fallen:
+            self.brace = 0.0
+            return
+        action = np.clip(np.asarray(action, dtype=np.float64), -1.0, 1.0)
+        self.brace = 0.5 * (action[2] + 1.0)  # map to [0, 1]
+        # Bracing trades speed for stability.
+        force = self.max_force * (1.0 - 0.5 * self.brace) * action[:2]
+        self.velocity = self.velocity + self.dt * (4.0 * force - self.drag * self.velocity)
+
+    def integrate(self, bounds: tuple[float, float, float, float]) -> None:
+        if self.fallen:
+            self.velocity *= 0.5  # slides to a stop
+        self.position = self.position + self.dt * self.velocity
+        xmin, xmax, ymin, ymax = bounds
+        for axis, (low, high) in enumerate(((xmin, xmax), (ymin, ymax))):
+            if self.position[axis] < low or self.position[axis] > high:
+                self.velocity[axis] = 0.0  # hit the arena wall
+        self.position = np.clip(self.position, [xmin, ymin], [xmax, ymax])
+        if not self.fallen:
+            self.balance = min(1.0, self.balance + self.recover_rate)
+
+    def take_impact(self, impact_speed: float, damage_gain: float) -> None:
+        if self.fallen:
+            return
+        damage = damage_gain * impact_speed * (1.0 - self.brace_effect * self.brace)
+        self.balance -= max(0.0, damage)
+        if self.balance <= 0.0:
+            self.balance = 0.0
+            self.fallen = True
+
+    @property
+    def effective_radius(self) -> float:
+        # A fallen body is low to the ground and easy to step around.
+        return self.radius * (0.45 if self.fallen else 1.0)
+
+    def state(self) -> np.ndarray:
+        return np.concatenate(
+            [self.position, self.velocity, [self.balance, 1.0 if self.fallen else 0.0]]
+        )
+
+
+def resolve_contact(a: PlanarBody, b: PlanarBody, damage_gain: float = 0.25,
+                    restitution: float = 0.6) -> bool:
+    """Resolve a collision between two bodies.  Returns True on contact.
+
+    Both bodies are pushed apart along the contact normal; each takes
+    balance damage proportional to the closing speed.  A fallen body
+    neither pushes nor takes further damage.
+    """
+    delta = b.position - a.position
+    distance = float(np.linalg.norm(delta))
+    min_dist = a.effective_radius + b.effective_radius
+    if distance >= min_dist or distance < 1e-9:
+        return False
+    normal = delta / distance
+    closing = float((a.velocity - b.velocity) @ normal)
+    if closing > 0.0:
+        # The faster body (pre-impact) is the more off-balance one:
+        # charging into a braced, planted opponent hurts the charger most.
+        # This is what makes naive ramming a poor blocking strategy.
+        speed_a = float(np.linalg.norm(a.velocity))
+        speed_b = float(np.linalg.norm(b.velocity))
+        total = speed_a + speed_b + 1e-6
+        # Exchange momentum along the normal (equal masses).
+        impulse = restitution * closing
+        if not a.fallen:
+            a.velocity = a.velocity - impulse * normal
+        if not b.fallen:
+            b.velocity = b.velocity + impulse * normal
+        a.take_impact(closing * 2.0 * speed_a / total, damage_gain)
+        b.take_impact(closing * 2.0 * speed_b / total, damage_gain)
+    # positional de-penetration, split between the two bodies
+    overlap = min_dist - distance
+    a.position = a.position - 0.5 * overlap * normal
+    b.position = b.position + 0.5 * overlap * normal
+    return True

@@ -1,0 +1,48 @@
+"""Two-player zero-sum game interface.
+
+A :class:`TwoPlayerEnv` steps both agents simultaneously and reports a
+zero-sum outcome.  ``info`` carries ``victim_win`` / ``adversary_win``
+flags plus compact ``victim_state`` / ``adversary_state`` vectors used by
+the multi-agent IMAP regularizers' projection operators Π_Z (Eq. 7/9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spaces import Space
+
+__all__ = ["TwoPlayerEnv"]
+
+
+class TwoPlayerEnv:
+    """Base class for simultaneous-move two-player zero-sum games."""
+
+    victim_observation_space: Space
+    adversary_observation_space: Space
+    victim_action_space: Space
+    adversary_action_space: Space
+    max_steps: int
+
+    def __init__(self):
+        self.np_random = np.random.default_rng()
+
+    def seed(self, seed: int | None) -> None:
+        self.np_random = np.random.default_rng(seed)
+
+    def reset(self, seed: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Returns ``(victim_obs, adversary_obs)``."""
+        if seed is not None:
+            self.seed(seed)
+        return self._reset()
+
+    def _reset(self) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def step(self, victim_action, adversary_action):
+        """Returns ``(victim_obs, adversary_obs), (r_v, r_a), done, info``.
+
+        Rewards are the *shaped* per-player signals used when training the
+        victim; the black-box adversary must rely on ``info`` win flags.
+        """
+        raise NotImplementedError

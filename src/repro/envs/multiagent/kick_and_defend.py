@@ -1,0 +1,145 @@
+"""KickAndDefend: a penalty shootout between a kicker (victim) and a
+goalie (adversary).
+
+The kicker runs to the ball and shoots at the gate; the goalie is
+confined to a box in front of the gate (as in the paper) and wins by
+intercepting the ball or running out the clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spaces import Box
+from .bodies import PlanarBody
+from .core import TwoPlayerEnv
+
+__all__ = ["KickAndDefendEnv"]
+
+
+class KickAndDefendEnv(TwoPlayerEnv):
+    bounds = (-6.0, 6.0, -3.0, 3.0)
+    gate_x = 5.0
+    gate_half_width = 1.2
+    goalie_box = (3.2, 4.6, -1.8, 1.8)  # xmin, xmax, ymin, ymax
+    kick_radius = 0.55
+    kick_speed = 3.2
+    ball_drag = 0.12
+    block_radius = 0.55
+    max_steps = 150
+
+    def __init__(self):
+        super().__init__()
+        self.kicker = PlanarBody(max_force=1.0)
+        self.goalie = PlanarBody(max_force=1.0)
+        # obs: me(6) opp(6) ball pos(2) ball vel(2) gate delta(1) -> 17
+        self.victim_observation_space = Box(-np.inf, np.inf, (17,))
+        self.adversary_observation_space = Box(-np.inf, np.inf, (17,))
+        # kicker: [fx, fy, aim_y]; goalie: [fx, fy, brace]
+        self.victim_action_space = Box(-1.0, 1.0, (3,))
+        self.adversary_action_space = Box(-1.0, 1.0, (3,))
+        self.ball_position = np.zeros(2)
+        self.ball_velocity = np.zeros(2)
+        self._kicked = False
+        self._steps = 0
+
+    # ---------------------------------------------------------------- helpers
+
+    def _obs_for(self, me: PlanarBody, other: PlanarBody) -> np.ndarray:
+        return np.concatenate(
+            [
+                me.state(),
+                other.state(),
+                self.ball_position,
+                self.ball_velocity,
+                [self.gate_x - self.ball_position[0]],
+            ]
+        )
+
+    def _observations(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._obs_for(self.kicker, self.goalie), self._obs_for(self.goalie, self.kicker)
+
+    # ------------------------------------------------------------------- API
+
+    def _reset(self) -> tuple[np.ndarray, np.ndarray]:
+        self.kicker.reset(np.array([-4.0, self.np_random.uniform(-0.8, 0.8)]))
+        gx = self.np_random.uniform(self.goalie_box[0], self.goalie_box[1])
+        gy = self.np_random.uniform(-0.8, 0.8)
+        self.goalie.reset(np.array([gx, gy]))
+        self.ball_position = np.array([-3.0, self.np_random.uniform(-0.6, 0.6)])
+        self.ball_velocity = np.zeros(2)
+        self._kicked = False
+        self._steps = 0
+        return self._observations()
+
+    def _clamp_goalie(self) -> None:
+        xmin, xmax, ymin, ymax = self.goalie_box
+        pos = self.goalie.position
+        if pos[0] < xmin or pos[0] > xmax:
+            self.goalie.velocity[0] = 0.0
+        if pos[1] < ymin or pos[1] > ymax:
+            self.goalie.velocity[1] = 0.0
+        self.goalie.position = np.clip(pos, [xmin, ymin], [xmax, ymax])
+
+    def step(self, victim_action, adversary_action):
+        victim_action = np.clip(np.asarray(victim_action, dtype=np.float64), -1.0, 1.0)
+        self.kicker.apply_action(np.array([victim_action[0], victim_action[1], -1.0]))
+        self.goalie.apply_action(adversary_action)
+        self.kicker.integrate(self.bounds)
+        self.goalie.integrate(self.bounds)
+        self._clamp_goalie()
+
+        # Kicking: first time the kicker touches the ball it shoots toward
+        # the aimed point on the gate line.
+        if not self._kicked and (
+            float(np.linalg.norm(self.kicker.position - self.ball_position)) <= self.kick_radius
+        ):
+            aim_y = float(victim_action[2]) * self.gate_half_width * 1.2
+            direction = np.array([self.gate_x, aim_y]) - self.ball_position
+            direction /= max(float(np.linalg.norm(direction)), 1e-9)
+            self.ball_velocity = self.kick_speed * direction
+            self._kicked = True
+
+        self.ball_velocity *= 1.0 - self.ball_drag * self.kicker.dt
+        self.ball_position = self.ball_position + self.kicker.dt * self.ball_velocity
+
+        blocked = (
+            self._kicked
+            and float(np.linalg.norm(self.goalie.position - self.ball_position)) <= self.block_radius
+        )
+        if blocked:
+            self.ball_velocity = np.zeros(2)
+
+        self._steps += 1
+        goal = (
+            self.ball_position[0] >= self.gate_x
+            and abs(self.ball_position[1]) <= self.gate_half_width
+        )
+        out = self.ball_position[0] >= self.gate_x and not goal
+        stalled = self._kicked and float(np.linalg.norm(self.ball_velocity)) < 0.05
+        timeout = self._steps >= self.max_steps
+        done = goal or out or blocked or stalled or timeout
+        victim_win = bool(goal)
+        adversary_win = done and not victim_win
+
+        # Victim's private shaped reward: approach ball, then ball-to-gate progress.
+        if not self._kicked:
+            r_v = -0.05 * float(np.linalg.norm(self.kicker.position - self.ball_position))
+        else:
+            r_v = 0.05 * float(self.ball_velocity[0])
+        if victim_win:
+            r_v += 5.0
+        elif done:
+            r_v -= 5.0
+        r_a = -r_v
+
+        info = {
+            "victim_win": victim_win,
+            "adversary_win": adversary_win,
+            "kicked": self._kicked,
+            "blocked": blocked,
+            "steps": self._steps,
+            "victim_state": np.concatenate([self.kicker.state(), self.ball_position]),
+            "adversary_state": self.goalie.state(),
+        }
+        return self._observations(), (r_v, r_a), done, info

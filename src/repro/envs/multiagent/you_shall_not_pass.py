@@ -1,0 +1,89 @@
+"""YouShallNotPass: a runner (victim) must cross the finish line; the
+blocker (adversary) wins if it does not.
+
+Mirrors Bansal et al.'s MuJoCo game at planar-body fidelity: the two
+agents start facing each other, the runner is slightly faster, and the
+blocker can only stop it by physically intercepting it and knocking its
+balance down (or forcing a timeout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spaces import Box
+from .bodies import PlanarBody, resolve_contact
+from .core import TwoPlayerEnv
+
+__all__ = ["YouShallNotPassEnv"]
+
+
+class YouShallNotPassEnv(TwoPlayerEnv):
+    """Runner-vs-blocker interception game."""
+
+    bounds = (-6.0, 6.0, -3.0, 3.0)
+    finish_x = -4.5
+    max_steps = 200
+    damage_gain = 0.28
+
+    def __init__(self):
+        super().__init__()
+        # Runner is faster but more fragile than the blocker: blocking
+        # requires anticipating its path, not chasing it.
+        self.runner = PlanarBody(max_force=1.3, brace_effect=0.35)
+        self.blocker = PlanarBody(max_force=0.95, brace_effect=0.75)
+        obs_dim = 14
+        self.victim_observation_space = Box(-np.inf, np.inf, (obs_dim,))
+        self.adversary_observation_space = Box(-np.inf, np.inf, (obs_dim,))
+        self.victim_action_space = Box(-1.0, 1.0, (3,))
+        self.adversary_action_space = Box(-1.0, 1.0, (3,))
+        self._steps = 0
+
+    # ---------------------------------------------------------------- helpers
+
+    def _obs_for(self, me: PlanarBody, other: PlanarBody) -> np.ndarray:
+        return np.concatenate([me.state(), other.state(), other.position - me.position])
+
+    def _observations(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._obs_for(self.runner, self.blocker), self._obs_for(self.blocker, self.runner)
+
+    # ------------------------------------------------------------------- API
+
+    def _reset(self) -> tuple[np.ndarray, np.ndarray]:
+        self.runner.reset(np.array([4.0, self.np_random.uniform(-1.0, 1.0)]))
+        self.blocker.reset(np.array([0.0, self.np_random.uniform(-1.0, 1.0)]))
+        self._steps = 0
+        return self._observations()
+
+    def step(self, victim_action, adversary_action):
+        self.runner.apply_action(victim_action)
+        self.blocker.apply_action(adversary_action)
+        self.runner.integrate(self.bounds)
+        self.blocker.integrate(self.bounds)
+        contact = resolve_contact(self.runner, self.blocker, damage_gain=self.damage_gain)
+        self._steps += 1
+
+        victim_win = (not self.runner.fallen) and self.runner.position[0] <= self.finish_x
+        runner_out = self.runner.fallen
+        timeout = self._steps >= self.max_steps
+        done = victim_win or runner_out or timeout
+        adversary_win = done and not victim_win
+
+        # Victim's private shaped reward: progress toward the line + outcome.
+        progress = -self.runner.velocity[0] * self.runner.dt
+        r_v = progress
+        if victim_win:
+            r_v += 5.0
+        elif done:
+            r_v -= 5.0
+        r_a = -r_v  # zero-sum shaped counterpart (used only by white-box tooling)
+
+        info = {
+            "victim_win": victim_win,
+            "adversary_win": adversary_win,
+            "contact": contact,
+            "steps": self._steps,
+            "victim_state": self.runner.state(),
+            "adversary_state": self.blocker.state(),
+        }
+        return self._observations(), (r_v, r_a), done, info

@@ -1,0 +1,150 @@
+"""Sparse-reward navigation tasks: AntUMaze and Ant4Rooms proxies.
+
+An Ant-proxy point body (8-dimensional torque action mapped to a planar
+force, as the Ant's legs map to net thrust) navigates a maze to a goal
+region.  Success gives +1 and ends the episode; there is no shaped
+reward, matching the paper's sparse navigation setting.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from .core import Env
+from .maze import Maze, four_rooms, u_maze
+from .spaces import Box
+
+__all__ = ["MazeNavigationEnv", "AntUMazeEnv", "Ant4RoomsEnv"]
+
+_N_RAYS = 8
+_RAY_ANGLES = np.linspace(0.0, 2.0 * np.pi, _N_RAYS, endpoint=False)
+
+
+def _force_map(name: str, action_dim: int) -> np.ndarray:
+    """Fixed 2 x action_dim matrix turning joint torques into planar force."""
+    rng = np.random.default_rng(zlib.crc32(f"repro-nav-force:{name}".encode("utf-8")))
+    m = rng.standard_normal((2, action_dim))
+    return m / np.linalg.norm(m, axis=1, keepdims=True)
+
+
+class MazeNavigationEnv(Env):
+    """Point-body maze navigation with sparse success reward."""
+
+    action_dim = 8  # Ant-proxy torques
+    radius = 0.18
+    goal_radius = 0.5
+    accel_gain = 4.0
+    drag = 1.5
+    dt = 0.1
+
+    def __init__(self, name: str, maze: Maze, start: np.ndarray, goal: np.ndarray,
+                 max_steps: int = 150, goal_noise: float = 0.15, shaped: bool = False,
+                 waypoints: list[np.ndarray] | None = None):
+        super().__init__()
+        self.name = name
+        self.maze = maze
+        self.start = np.asarray(start, dtype=np.float64)
+        self.goal_center = np.asarray(goal, dtype=np.float64)
+        self.max_steps = max_steps
+        self.goal_noise = goal_noise
+        # ``shaped`` turns on the victim's private training reward: progress
+        # along a waypoint path around the walls (plain goal-distance shaping
+        # would pull the agent into a wall-trap local optimum).  The
+        # published task signal stays sparse.
+        self.shaped = shaped
+        self.waypoints = [np.asarray(w, dtype=np.float64) for w in (waypoints or [])]
+        self._wp_index = 0
+        self._prev_distance = 0.0
+        self._force_map = _force_map(name, self.action_dim)
+        # obs: pos(2) vel(2) goal_delta(2) rays(8)
+        self.observation_space = Box(-np.inf, np.inf, (6 + _N_RAYS,))
+        self.action_space = Box(-1.0, 1.0, (self.action_dim,))
+        self.position = self.start.copy()
+        self.velocity = np.zeros(2)
+        self.goal = self.goal_center.copy()
+        self._steps = 0
+
+    def _observe(self) -> np.ndarray:
+        rays = self.maze.raycast(self.position, _RAY_ANGLES, max_range=6.0, step=0.15)
+        return np.concatenate(
+            [self.position, self.velocity, self.goal - self.position, rays]
+        )
+
+    def _reset(self) -> np.ndarray:
+        jitter = self.np_random.uniform(-0.1, 0.1, size=2)
+        self.position = self.start + jitter
+        self.velocity = np.zeros(2)
+        self.goal = self.goal_center + self.np_random.uniform(
+            -self.goal_noise, self.goal_noise, size=2
+        )
+        self._steps = 0
+        self._wp_index = 0
+        self._prev_distance = float(np.linalg.norm(self.position - self._target()))
+        return self._observe()
+
+    def _target(self) -> np.ndarray:
+        """Active shaping target: next unreached waypoint, then the goal."""
+        if self._wp_index < len(self.waypoints):
+            return self.waypoints[self._wp_index]
+        return self.goal
+
+    def step(self, action):
+        action = np.clip(np.asarray(action, dtype=np.float64), -1.0, 1.0)
+        force = self._force_map @ action
+        self.velocity = self.velocity + self.dt * (self.accel_gain * force - self.drag * self.velocity)
+        delta = self.dt * self.velocity
+        self.position, blocked = self.maze.resolve_move(self.position, delta, radius=self.radius)
+        self.velocity[blocked] = 0.0
+        self._steps += 1
+
+        distance = float(np.linalg.norm(self.position - self.goal))
+        success = distance <= self.goal_radius
+        terminated = success
+        truncated = self._steps >= self.max_steps and not terminated
+        if self.shaped:
+            wp_distance = float(np.linalg.norm(self.position - self._target()))
+            reward = 2.0 * (self._prev_distance - wp_distance) + (5.0 if success else 0.0)
+            if self._wp_index < len(self.waypoints) and wp_distance <= self.goal_radius:
+                self._wp_index += 1
+                wp_distance = float(np.linalg.norm(self.position - self._target()))
+            self._prev_distance = wp_distance
+        else:
+            reward = 1.0 if success else 0.0
+        info = {
+            "success": success,
+            "distance_to_goal": distance,
+            "position": self.position.copy(),
+        }
+        return self._observe(), reward, terminated, truncated, info
+
+
+class AntUMazeEnv(MazeNavigationEnv):
+    """Navigate around the U-shaped tongue wall to the goal arm."""
+
+    def __init__(self, shaped: bool = False):
+        super().__init__(
+            name="AntUMaze",
+            maze=u_maze(size=3.0, corridor=1.0),
+            start=np.array([-2.2, -2.0]),
+            goal=np.array([-2.2, 2.0]),
+            max_steps=150,
+            shaped=shaped,
+            waypoints=[np.array([2.0, -1.8]), np.array([2.0, 1.8])],
+        )
+
+
+class Ant4RoomsEnv(MazeNavigationEnv):
+    """Cross two doorways of the four-rooms maze to the opposite room."""
+
+    def __init__(self, shaped: bool = False):
+        super().__init__(
+            name="Ant4Rooms",
+            maze=four_rooms(size=3.0, door=0.9),
+            start=np.array([-2.0, -2.0]),
+            goal=np.array([2.0, 2.0]),
+            max_steps=200,
+            shaped=shaped,
+            waypoints=[np.array([0.0, -1.5]), np.array([1.5, 0.0])],
+        )

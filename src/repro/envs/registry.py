@@ -1,0 +1,111 @@
+"""Environment registry: ``make("Hopper-v0")`` etc.
+
+Single-agent ids return :class:`~repro.envs.core.Env` instances wrapped
+in a :class:`~repro.envs.core.TimeLimit`; two-player game ids return
+:class:`~repro.envs.multiagent.TwoPlayerEnv` instances (their step limit
+is internal).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .core import Env, TimeLimit
+from .locomotion import (
+    AntEnv,
+    HalfCheetahEnv,
+    HopperEnv,
+    HumanoidEnv,
+    HumanoidStandupEnv,
+    Walker2dEnv,
+)
+from .manipulation import FetchReachEnv
+from .multiagent import KickAndDefendEnv, TwoPlayerEnv, YouShallNotPassEnv
+from .navigation import Ant4RoomsEnv, AntUMazeEnv
+from .sparse import (
+    SparseAntEnv,
+    SparseHalfCheetahEnv,
+    SparseHopperEnv,
+    SparseHumanoidEnv,
+    SparseHumanoidStandupEnv,
+    SparseWalker2dEnv,
+)
+
+__all__ = ["make", "make_game", "register", "registered_ids", "DENSE_TASKS", "SPARSE_TASKS", "GAME_TASKS"]
+
+_DEFAULT_TIME_LIMIT = 200
+
+_REGISTRY: dict[str, tuple[Callable[[], Env], int | None]] = {}
+_GAME_REGISTRY: dict[str, Callable[[], TwoPlayerEnv]] = {}
+
+
+def register(env_id: str, factory: Callable[[], Env], max_steps: int | None = _DEFAULT_TIME_LIMIT) -> None:
+    if env_id in _REGISTRY or env_id in _GAME_REGISTRY:
+        raise ValueError(f"environment id {env_id!r} already registered")
+    _REGISTRY[env_id] = (factory, max_steps)
+
+
+def register_game(env_id: str, factory: Callable[[], TwoPlayerEnv]) -> None:
+    if env_id in _REGISTRY or env_id in _GAME_REGISTRY:
+        raise ValueError(f"environment id {env_id!r} already registered")
+    _GAME_REGISTRY[env_id] = factory
+
+
+def make(env_id: str) -> Env:
+    """Instantiate a registered single-agent environment."""
+    if env_id not in _REGISTRY:
+        raise KeyError(f"unknown environment {env_id!r}; known: {registered_ids()}")
+    factory, max_steps = _REGISTRY[env_id]
+    env = factory()
+    if max_steps is not None:
+        env = TimeLimit(env, max_steps)
+    return env
+
+
+def make_game(env_id: str) -> TwoPlayerEnv:
+    """Instantiate a registered two-player game."""
+    if env_id not in _GAME_REGISTRY:
+        raise KeyError(f"unknown game {env_id!r}; known: {sorted(_GAME_REGISTRY)}")
+    return _GAME_REGISTRY[env_id]()
+
+
+def registered_ids() -> list[str]:
+    return sorted(_REGISTRY) + sorted(_GAME_REGISTRY)
+
+
+# --------------------------------------------------------------- registrations
+
+DENSE_TASKS = ["Hopper-v0", "Walker2d-v0", "HalfCheetah-v0", "Ant-v0"]
+SPARSE_TASKS = [
+    "SparseHopper-v0",
+    "SparseWalker2d-v0",
+    "SparseHalfCheetah-v0",
+    "SparseAnt-v0",
+    "SparseHumanoidStandup-v0",
+    "SparseHumanoid-v0",
+    "AntUMaze-v0",
+    "Ant4Rooms-v0",
+    "FetchReach-v0",
+]
+GAME_TASKS = ["YouShallNotPass-v0", "KickAndDefend-v0"]
+
+register("Hopper-v0", HopperEnv)
+register("Walker2d-v0", Walker2dEnv)
+register("HalfCheetah-v0", HalfCheetahEnv)
+register("Ant-v0", AntEnv)
+register("Humanoid-v0", HumanoidEnv)
+register("HumanoidStandup-v0", HumanoidStandupEnv)
+
+register("SparseHopper-v0", SparseHopperEnv, max_steps=200)
+register("SparseWalker2d-v0", SparseWalker2dEnv, max_steps=200)
+register("SparseHalfCheetah-v0", SparseHalfCheetahEnv, max_steps=200)
+register("SparseAnt-v0", SparseAntEnv, max_steps=200)
+register("SparseHumanoid-v0", SparseHumanoidEnv, max_steps=200)
+register("SparseHumanoidStandup-v0", SparseHumanoidStandupEnv, max_steps=200)
+
+register("AntUMaze-v0", AntUMazeEnv, max_steps=None)   # internal limit
+register("Ant4Rooms-v0", Ant4RoomsEnv, max_steps=None)
+register("FetchReach-v0", FetchReachEnv, max_steps=None)
+
+register_game("YouShallNotPass-v0", YouShallNotPassEnv)
+register_game("KickAndDefend-v0", KickAndDefendEnv)

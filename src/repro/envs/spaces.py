@@ -1,0 +1,84 @@
+"""Observation/action spaces with a Gym-compatible surface."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Space", "Box", "Discrete"]
+
+
+class Space:
+    def contains(self, value) -> bool:
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator):
+        raise NotImplementedError
+
+
+class Box(Space):
+    """Continuous box ``low <= x <= high`` with a fixed shape."""
+
+    def __init__(self, low, high, shape: tuple[int, ...] | None = None):
+        if shape is None:
+            low_arr = np.asarray(low, dtype=np.float64)
+            shape = low_arr.shape
+        self.shape = tuple(shape)
+        self.low = np.broadcast_to(np.asarray(low, dtype=np.float64), self.shape).copy()
+        self.high = np.broadcast_to(np.asarray(high, dtype=np.float64), self.shape).copy()
+        if np.any(self.low > self.high):
+            raise ValueError("Box requires low <= high elementwise")
+
+    def contains(self, value) -> bool:
+        value = np.asarray(value, dtype=np.float64)
+        return value.shape == self.shape and bool(
+            np.all(value >= self.low - 1e-9) and np.all(value <= self.high + 1e-9)
+        )
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        bounded = np.isfinite(self.low) & np.isfinite(self.high)
+        out = np.where(
+            bounded,
+            rng.uniform(np.where(bounded, self.low, 0.0), np.where(bounded, self.high, 1.0)),
+            rng.standard_normal(self.shape),
+        )
+        return out
+
+    def clip(self, value) -> np.ndarray:
+        return np.clip(np.asarray(value, dtype=np.float64), self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"Box(shape={self.shape})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Box)
+            and self.shape == other.shape
+            and np.array_equal(self.low, other.low)
+            and np.array_equal(self.high, other.high)
+        )
+
+
+class Discrete(Space):
+    """Integer actions ``0 .. n-1``."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("Discrete space needs n >= 1")
+        self.n = int(n)
+        self.shape = ()
+
+    def contains(self, value) -> bool:
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= ivalue < self.n
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.n))
+
+    def __repr__(self) -> str:
+        return f"Discrete({self.n})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Discrete) and self.n == other.n

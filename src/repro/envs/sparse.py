@@ -1,0 +1,101 @@
+"""Sparse-reward locomotion tasks (SparseHopper, SparseWalker2d, …).
+
+The sparse tasks follow the paper's setup: the victim must move past a
+distant line (or stand up) before the time limit; it receives +1 on
+success (episode ends), a small penalty for falling into an unhealthy
+state, and 0 otherwise.  ``info["success"]`` carries the same indicator
+the adversary's surrogate reward uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from .core import Env
+from .locomotion import LOCOMOTION_CONFIGS, LocomotionConfig, LocomotionEnv
+
+__all__ = [
+    "SparseLocomotionEnv",
+    "SparseHopperEnv",
+    "SparseWalker2dEnv",
+    "SparseHalfCheetahEnv",
+    "SparseAntEnv",
+    "SparseHumanoidEnv",
+    "SparseHumanoidStandupEnv",
+    "SPARSE_SUCCESS_REWARD",
+    "SPARSE_FAILURE_PENALTY",
+]
+
+SPARSE_SUCCESS_REWARD = 1.0
+SPARSE_FAILURE_PENALTY = -0.1
+
+
+class SparseLocomotionEnv(Env):
+    """Sparse-success view of a dense locomotion task."""
+
+    def __init__(self, config: LocomotionConfig, goal_distance: float | None = None):
+        super().__init__()
+        if goal_distance is not None:
+            config = replace(config, success_distance=goal_distance)
+        self._inner = LocomotionEnv(config)
+        self.config = config
+        self.observation_space = self._inner.observation_space
+        self.action_space = self._inner.action_space
+
+    def seed(self, seed: int | None) -> None:
+        super().seed(seed)
+        self._inner.seed(seed)
+
+    def _reset(self) -> np.ndarray:
+        self._inner.np_random = self.np_random
+        return self._inner.reset()
+
+    def step(self, action):
+        obs, _, terminated, truncated, info = self._inner.step(action)
+        if info["success"]:
+            reward = SPARSE_SUCCESS_REWARD
+            terminated = True  # task done
+        elif terminated:
+            reward = SPARSE_FAILURE_PENALTY  # fell into an unhealthy state
+        else:
+            reward = 0.0
+        return obs, reward, terminated, truncated, info
+
+
+def _sparse_config(base: str, **overrides) -> LocomotionConfig:
+    config = LOCOMOTION_CONFIGS[base]
+    if overrides:
+        config = replace(config, **overrides)
+    return replace(config, name=f"Sparse{config.name}")
+
+
+class SparseHopperEnv(SparseLocomotionEnv):
+    def __init__(self):
+        super().__init__(_sparse_config("Hopper", success_distance=7.0))
+
+
+class SparseWalker2dEnv(SparseLocomotionEnv):
+    def __init__(self):
+        super().__init__(_sparse_config("Walker2d", success_distance=7.0))
+
+
+class SparseHalfCheetahEnv(SparseLocomotionEnv):
+    def __init__(self):
+        super().__init__(_sparse_config("HalfCheetah", success_distance=9.0))
+
+
+class SparseAntEnv(SparseLocomotionEnv):
+    def __init__(self):
+        super().__init__(_sparse_config("Ant", success_distance=7.0))
+
+
+class SparseHumanoidEnv(SparseLocomotionEnv):
+    def __init__(self):
+        super().__init__(_sparse_config("Humanoid", success_distance=6.0))
+
+
+class SparseHumanoidStandupEnv(SparseLocomotionEnv):
+    def __init__(self):
+        super().__init__(_sparse_config("HumanoidStandup"))

@@ -1,0 +1,90 @@
+"""Learning-curve recording and text rendering (for the figure benches)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["Curve", "CurveSet"]
+
+
+@dataclass
+class Curve:
+    """One labelled (x, y) series, e.g. ASR vs training samples."""
+
+    label: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    @property
+    def final(self) -> float:
+        return self.y[-1] if self.y else float("nan")
+
+    def best(self, minimize: bool = True) -> float:
+        if not self.y:
+            return float("nan")
+        return float(min(self.y) if minimize else max(self.y))
+
+    def auc(self) -> float:
+        """Area under the curve (trapezoid); a sample-efficiency summary."""
+        if len(self.x) < 2:
+            return float("nan")
+        return float(np.trapezoid(self.y, self.x))
+
+
+@dataclass
+class CurveSet:
+    """A figure: several curves over a shared x-axis meaning."""
+
+    title: str
+    curves: dict[str, Curve] = field(default_factory=dict)
+
+    def curve(self, label: str) -> Curve:
+        if label not in self.curves:
+            self.curves[label] = Curve(label)
+        return self.curves[label]
+
+    def render(self, y_name: str = "value", width: int = 48) -> str:
+        """Monospace sparkline rendering of every curve."""
+        lines = [self.title]
+        values = [v for c in self.curves.values() for v in c.y]
+        if not values:
+            return self.title + " (empty)"
+        lo, hi = min(values), max(values)
+        span = hi - lo if hi > lo else 1.0
+        glyphs = " .:-=+*#%@"
+        for label, curve in self.curves.items():
+            if not curve.y:
+                continue
+            resampled = np.interp(
+                np.linspace(0, len(curve.y) - 1, width),
+                np.arange(len(curve.y)), curve.y,
+            )
+            bar = "".join(glyphs[int((v - lo) / span * (len(glyphs) - 1))] for v in resampled)
+            lines.append(f"{label:>16} |{bar}| final {y_name}={curve.final:.3f}")
+        return "\n".join(lines)
+
+    def to_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "title": self.title,
+            "curves": {k: {"x": c.x, "y": c.y} for k, c in self.curves.items()},
+        }
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    @staticmethod
+    def from_json(path: str | Path) -> "CurveSet":
+        payload = json.loads(Path(path).read_text())
+        cs = CurveSet(payload["title"])
+        for label, data in payload["curves"].items():
+            cs.curves[label] = Curve(label, list(data["x"]), list(data["y"]))
+        return cs

@@ -1,0 +1,122 @@
+"""Attack-evaluation harness: victim performance under a (trained) attack.
+
+Reports the paper's metrics: mean ± std of the victim's episode reward
+over N episodes for single-agent tasks (Tables 1-3), and the attacking
+success rate (ASR) for competitive games (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..envs.core import Env
+from ..envs.multiagent.core import TwoPlayerEnv
+from ..rl.policy import ActorCritic
+from .metrics import mean_std
+from ..attacks.threat_models import OpponentEnv, StatePerturbationEnv
+
+__all__ = ["AttackEvaluation", "evaluate_single_agent", "evaluate_game"]
+
+
+@dataclass
+class AttackEvaluation:
+    """Outcome of evaluating one attack against one victim."""
+
+    episode_rewards: list[float] = field(default_factory=list)
+    episode_successes: list[bool] = field(default_factory=list)
+    episode_lengths: list[int] = field(default_factory=list)
+
+    @property
+    def mean_reward(self) -> float:
+        return mean_std(self.episode_rewards)[0]
+
+    @property
+    def std_reward(self) -> float:
+        return mean_std(self.episode_rewards)[1]
+
+    @property
+    def victim_success_rate(self) -> float:
+        return float(np.mean(self.episode_successes)) if self.episode_successes else 0.0
+
+    @property
+    def asr(self) -> float:
+        """Attacking success rate: fraction of episodes the victim fails."""
+        return 1.0 - self.victim_success_rate
+
+    def summary(self) -> str:
+        return f"{self.mean_reward:.2f} ± {self.std_reward:.2f} (ASR {self.asr:.2%})"
+
+
+def evaluate_single_agent(env: Env, victim: ActorCritic, attack_policy=None,
+                          epsilon: float = 0.0, episodes: int = 50, seed: int = 1234,
+                          victim_deterministic: bool = True,
+                          attack_deterministic: bool = True) -> AttackEvaluation:
+    """Victim episode rewards under a state-perturbation attack.
+
+    ``attack_policy=None`` evaluates the clean victim; otherwise the
+    attack (an ActorCritic or RandomAttackPolicy) perturbs the victim's
+    normalized observations inside the ε-ball.
+    """
+    rng = np.random.default_rng(seed)
+    result = AttackEvaluation()
+    if attack_policy is None:
+        env.seed(seed)
+        for _ in range(episodes):
+            obs = env.reset()
+            done, ep_reward, ep_len, ep_success = False, 0.0, 0, False
+            while not done:
+                action = victim.action(obs, rng, deterministic=victim_deterministic)
+                obs, reward, terminated, truncated, info = env.step(action)
+                done = terminated or truncated
+                ep_reward += reward
+                ep_len += 1
+                ep_success = ep_success or bool(info.get("success", False))
+            result.episode_rewards.append(ep_reward)
+            result.episode_successes.append(ep_success)
+            result.episode_lengths.append(ep_len)
+        return result
+
+    adv_env = StatePerturbationEnv(env, victim, epsilon=epsilon,
+                                   victim_deterministic=victim_deterministic, seed=seed)
+    adv_env.seed(seed)
+    for _ in range(episodes):
+        obs = adv_env.reset()
+        done, ep_reward, ep_len, ep_success = False, 0.0, 0, False
+        while not done:
+            action = attack_policy.action(obs, rng, deterministic=attack_deterministic)
+            obs, _, terminated, truncated, info = adv_env.step(action)
+            done = terminated or truncated
+            ep_reward += float(info["victim_reward"])
+            ep_len += 1
+            ep_success = ep_success or bool(info.get("success", False))
+        result.episode_rewards.append(ep_reward)
+        result.episode_successes.append(ep_success)
+        result.episode_lengths.append(ep_len)
+    return result
+
+
+def evaluate_game(game: TwoPlayerEnv, victim: ActorCritic, adversary,
+                  episodes: int = 100, seed: int = 1234,
+                  victim_deterministic: bool = True,
+                  adversary_deterministic: bool = True) -> AttackEvaluation:
+    """ASR of an adversarial opponent against a fixed game victim."""
+    rng = np.random.default_rng(seed)
+    adv_env = OpponentEnv(game, victim, victim_deterministic=victim_deterministic, seed=seed)
+    adv_env.seed(seed)
+    result = AttackEvaluation()
+    for _ in range(episodes):
+        obs = adv_env.reset()
+        done, ep_reward, ep_len, victim_won = False, 0.0, 0, False
+        while not done:
+            action = adversary.action(obs, rng, deterministic=adversary_deterministic)
+            obs, _, terminated, truncated, info = adv_env.step(action)
+            done = terminated or truncated
+            ep_reward += float(info["victim_reward"])
+            ep_len += 1
+            victim_won = victim_won or bool(info.get("victim_win", False))
+        result.episode_rewards.append(ep_reward)
+        result.episode_successes.append(victim_won)
+        result.episode_lengths.append(ep_len)
+    return result

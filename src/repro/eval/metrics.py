@@ -1,0 +1,31 @@
+"""Small statistics helpers shared by the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mean_std", "bootstrap_ci", "format_mean_std"]
+
+
+def mean_std(values) -> tuple[float, float]:
+    """(mean, std) of a sequence; (0, 0) when empty."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0, 0.0
+    return float(arr.mean()), float(arr.std())
+
+
+def bootstrap_ci(values, confidence: float = 0.95, n_resamples: int = 2000,
+                 seed: int = 0) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0, 0.0
+    rng = np.random.default_rng(seed)
+    means = rng.choice(arr, size=(n_resamples, arr.size), replace=True).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return float(np.quantile(means, alpha)), float(np.quantile(means, 1.0 - alpha))
+
+
+def format_mean_std(mean: float, std: float, digits: int = 2) -> str:
+    return f"{mean:.{digits}f} ± {std:.{digits}f}"

@@ -1,0 +1,76 @@
+"""ASCII trajectory rendering — the closest this repo gets to the
+paper's Figures 1-3 (MuJoCo frames).
+
+* :func:`render_locomotion_trace` — side view of a locomotion episode:
+  torso height/pitch over time, with falls marked.
+* :func:`render_arena` — top-down view of a two-player game trajectory
+  (runner path, blocker path, contact/fall events).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_locomotion_trace", "render_arena"]
+
+
+def render_locomotion_trace(heights: list[float], pitches: list[float],
+                            fell: bool, width: int = 60, rows: int = 7) -> str:
+    """Render torso height over time; '/' '\\' mark strong lean, 'X' a fall."""
+    if not heights:
+        return "(empty trajectory)"
+    heights_arr = np.asarray(heights, dtype=float)
+    pitches_arr = np.asarray(pitches, dtype=float)
+    idx = np.linspace(0, len(heights_arr) - 1, min(width, len(heights_arr))).astype(int)
+    z = heights_arr[idx]
+    phi = pitches_arr[idx]
+    lo, hi = float(z.min()), float(z.max())
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * len(idx) for _ in range(rows)]
+    for col, (zz, pp) in enumerate(zip(z, phi)):
+        row = rows - 1 - int((zz - lo) / span * (rows - 1))
+        if pp > 0.15:
+            glyph = "/"
+        elif pp < -0.15:
+            glyph = "\\"
+        else:
+            glyph = "o"
+        grid[row][col] = glyph
+    if fell:
+        grid[-1][-1] = "X"
+    lines = [f"z={hi:4.2f} |" + "".join(grid[0])]
+    lines += ["        |" + "".join(row) for row in grid[1:-1]]
+    lines += [f"z={lo:4.2f} |" + "".join(grid[-1])]
+    lines.append("        +" + "-" * len(idx) + "> t" + ("  (FELL)" if fell else ""))
+    return "\n".join(lines)
+
+
+def render_arena(paths: dict[str, list[np.ndarray]],
+                 bounds: tuple[float, float, float, float],
+                 events: dict[str, np.ndarray] | None = None,
+                 width: int = 60, rows: int = 15) -> str:
+    """Top-down arena with one glyph per agent path.
+
+    ``paths`` maps a single-character glyph to a list of (x, y) points;
+    ``events`` maps glyphs to single points (e.g. ``{"X": fall_pos}``).
+    Later-drawn paths overwrite earlier ones where they overlap.
+    """
+    xmin, xmax, ymin, ymax = bounds
+    grid = [["."] * width for _ in range(rows)]
+
+    def plot(point, glyph):
+        x = (float(point[0]) - xmin) / (xmax - xmin)
+        y = (float(point[1]) - ymin) / (ymax - ymin)
+        col = min(width - 1, max(0, int(x * (width - 1))))
+        row = min(rows - 1, max(0, int((1.0 - y) * (rows - 1))))
+        grid[row][col] = glyph
+
+    for glyph, points in paths.items():
+        if len(glyph) != 1:
+            raise ValueError("path keys must be single characters")
+        for point in points:
+            plot(point, glyph)
+    for glyph, point in (events or {}).items():
+        plot(point, glyph)
+    border = "+" + "-" * width + "+"
+    return "\n".join([border] + ["|" + "".join(row) + "|" for row in grid] + [border])

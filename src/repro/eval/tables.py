@@ -1,0 +1,32 @@
+"""Plain-text table rendering for the experiment reports."""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "bold_min_per_row"]
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Render an aligned monospace table (the benches print these)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bold_min_per_row(values: list[float], formatted: list[str]) -> list[str]:
+    """Mark the minimum entry of a row with ``*`` (the paper bolds it)."""
+    if not values:
+        return formatted
+    best = min(range(len(values)), key=lambda i: values[i])
+    marked = list(formatted)
+    marked[best] = f"*{marked[best]}*"
+    return marked

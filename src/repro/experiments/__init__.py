@@ -1,0 +1,36 @@
+"""Per-table / per-figure experiment runners (see DESIGN.md index)."""
+
+from .config import SCALES, ExperimentScale, current_scale
+from .fig4 import FIG4_ATTACKS, FIG4_TASKS, run_fig4
+from .fig5 import FIG5_ATTACKS, run_fig5
+from .fig6 import FIG6_ETAS, run_fig6
+from .fig7 import FIG7_XIS, run_fig7
+from .runner import (
+    ATTACK_NAMES,
+    attack_config_for,
+    evaluate_cell,
+    game_victim_for,
+    parse_attack_name,
+    train_game_attack,
+    train_single_agent_attack,
+    victim_for,
+)
+from .multiseed import MultiSeedOutcome, train_best_of_seeds
+from .table1 import TABLE1_ATTACKS, TABLE1_DEFENSES, Table1Result, run_table1
+from .table2 import TABLE2_ATTACKS, Table2Result, run_table2
+from .table3 import br_improvement_count, render_table3, run_table3
+
+__all__ = [
+    "ExperimentScale", "SCALES", "current_scale",
+    "ATTACK_NAMES", "parse_attack_name",
+    "victim_for", "game_victim_for", "attack_config_for",
+    "train_single_agent_attack", "train_game_attack", "evaluate_cell",
+    "run_table1", "Table1Result", "TABLE1_ATTACKS", "TABLE1_DEFENSES",
+    "run_table2", "Table2Result", "TABLE2_ATTACKS",
+    "run_table3", "render_table3", "br_improvement_count",
+    "run_fig4", "FIG4_TASKS", "FIG4_ATTACKS",
+    "run_fig5", "FIG5_ATTACKS",
+    "run_fig6", "FIG6_ETAS",
+    "run_fig7", "FIG7_XIS",
+    "MultiSeedOutcome", "train_best_of_seeds",
+]

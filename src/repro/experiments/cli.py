@@ -1,0 +1,82 @@
+"""Command-line entry point: ``python -m repro.experiments <what>``.
+
+Examples::
+
+    python -m repro.experiments table1 --scale short --envs Hopper-v0
+    python -m repro.experiments table2 --scale short
+    python -m repro.experiments fig5 --scale short --games YouShallNotPass-v0
+    python -m repro.experiments fig6 fig7 --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .config import SCALES
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import br_improvement_count, render_table3, run_table3
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("what", nargs="+",
+                        choices=["table1", "table2", "table3",
+                                 "fig4", "fig5", "fig6", "fig7"],
+                        help="which experiments to run")
+    parser.add_argument("--scale", default="smoke", choices=sorted(SCALES),
+                        help="budget preset (default: smoke)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--envs", nargs="*", default=None,
+                        help="restrict single-agent experiments to these env ids")
+    parser.add_argument("--games", nargs="*", default=None,
+                        help="restrict game experiments to these game ids")
+    parser.add_argument("--attacks", nargs="*", default=None,
+                        help="restrict to these attack names")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = SCALES[args.scale]
+    for what in args.what:
+        print(f"\n##### {what} (scale={scale.name}) #####\n", flush=True)
+        if what == "table1":
+            result = run_table1(env_ids=args.envs, attacks=args.attacks,
+                                scale=scale, seed=args.seed)
+            print(result.render(attacks=args.attacks) if args.attacks
+                  else result.render())
+        elif what == "table2":
+            result = run_table2(env_ids=args.envs, attacks=args.attacks,
+                                scale=scale, seed=args.seed)
+            print(result.render())
+        elif what == "table3":
+            result = run_table3(env_ids=args.envs, scale=scale, seed=args.seed)
+            print(render_table3(result))
+            improved, total = br_improvement_count(result)
+            print(f"BR improves some IMAP variant on {improved}/{total} tasks")
+        elif what == "fig4":
+            figures = run_fig4(env_ids=args.envs, attacks=args.attacks,
+                               scale=scale, seed=args.seed)
+            for figure in figures.values():
+                print(figure.render(y_name="victim success"))
+        elif what == "fig5":
+            out = run_fig5(game_ids=args.games, scale=scale, seed=args.seed)
+            for data in out.values():
+                print(data["curves"].render(y_name="asr"))
+        elif what == "fig6":
+            out = run_fig6(scale=scale, seed=args.seed)
+            print(out["curves"].render(y_name="victim success"))
+        elif what == "fig7":
+            out = run_fig7(scale=scale, seed=args.seed)
+            print(out["curves"].render(y_name="asr"))
+    return 0

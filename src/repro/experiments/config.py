@@ -1,0 +1,77 @@
+"""Experiment scaling presets.
+
+The paper trains victims for millions of steps and attacks for 5-20M
+samples.  This reproduction exposes three budgets:
+
+* ``smoke`` — seconds per cell; only checks that the pipeline runs.
+* ``short`` — the default; minutes per cell, enough for the tables'
+  qualitative shape (who wins, roughly by how much).
+* ``paper`` — tens of minutes per cell; closest to the published
+  training curves this substrate supports.
+
+Select via the ``REPRO_SCALE`` environment variable or function args.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "SCALES", "current_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    name: str
+    victim_iterations: int
+    attack_iterations: int
+    steps_per_iteration: int
+    eval_episodes: int
+    game_victim_iterations: int
+    game_hardening_iterations: int
+    game_attack_iterations: int
+
+    @property
+    def budget_tag(self) -> str:
+        return self.name
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        victim_iterations=4,
+        attack_iterations=3,
+        steps_per_iteration=512,
+        eval_episodes=8,
+        game_victim_iterations=4,
+        game_hardening_iterations=0,
+        game_attack_iterations=3,
+    ),
+    "short": ExperimentScale(
+        name="short",
+        victim_iterations=30,
+        attack_iterations=60,
+        steps_per_iteration=2048,
+        eval_episodes=30,
+        game_victim_iterations=40,
+        game_hardening_iterations=30,
+        game_attack_iterations=24,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        victim_iterations=80,
+        attack_iterations=120,
+        steps_per_iteration=4096,
+        eval_episodes=100,
+        game_victim_iterations=100,
+        game_hardening_iterations=60,
+        game_attack_iterations=80,
+    ),
+}
+
+
+def current_scale(override: str | None = None) -> ExperimentScale:
+    name = override or os.environ.get("REPRO_SCALE", "smoke")
+    if name not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; options: {sorted(SCALES)}")
+    return SCALES[name]

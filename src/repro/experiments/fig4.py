@@ -1,0 +1,44 @@
+"""Figure 4 — attack learning curves on the sparse locomotion tasks.
+
+For each task, plot the victim's success probability (training-time
+estimate) versus attack training samples for SA-RL and the four IMAP
+variants.  Reproduces the sample-efficiency claim: IMAP variants reach
+low victim success with a fraction of SA-RL's samples.
+"""
+
+from __future__ import annotations
+
+from ..eval.curves import CurveSet
+from .config import ExperimentScale, current_scale
+from .runner import train_single_agent_attack, victim_for
+
+__all__ = ["FIG4_TASKS", "FIG4_ATTACKS", "run_fig4"]
+
+FIG4_TASKS = [
+    "SparseHopper-v0", "SparseWalker2d-v0", "SparseHalfCheetah-v0",
+    "SparseAnt-v0", "SparseHumanoidStandup-v0", "SparseHumanoid-v0",
+]
+FIG4_ATTACKS = ["sarl", "imap-sc", "imap-pc", "imap-r", "imap-d"]
+
+
+def run_fig4(env_ids: list[str] | None = None, attacks: list[str] | None = None,
+             scale: ExperimentScale | None = None, seed: int = 0,
+             verbose: bool = True) -> dict[str, CurveSet]:
+    scale = scale or current_scale()
+    env_ids = env_ids or FIG4_TASKS
+    attacks = attacks or FIG4_ATTACKS
+    figures: dict[str, CurveSet] = {}
+    for env_id in env_ids:
+        victim = victim_for(env_id, "ppo", scale, seed=seed)
+        figure = CurveSet(f"Figure 4 — {env_id}: victim success vs attack samples")
+        for attack in attacks:
+            result = train_single_agent_attack(env_id, victim, attack, scale, seed=seed)
+            samples, success = result.curve("victim_success_rate")
+            for x, y in zip(samples, success):
+                figure.curve(attack.upper()).add(x, y)
+            if verbose:
+                final = success[-1] if len(success) else float("nan")
+                print(f"[fig4] {env_id:26s} {attack:9s} final victim success {final:.2f}",
+                      flush=True)
+        figures[env_id] = figure
+    return figures

@@ -1,0 +1,43 @@
+"""Figure 5 — ASR learning curves in the two competitive games:
+AP-MARL versus IMAP-PC+BR.
+
+The preserved shape: IMAP-PC+BR discovers winning (blocking/saving)
+behaviour in substantially fewer samples and reaches a higher ASR at the
+fixed training budget.
+"""
+
+from __future__ import annotations
+
+from ..envs.registry import GAME_TASKS
+from ..eval.curves import CurveSet
+from .config import ExperimentScale, current_scale
+from .runner import evaluate_game_cell, game_victim_for, train_game_attack
+
+__all__ = ["FIG5_ATTACKS", "run_fig5"]
+
+FIG5_ATTACKS = ["apmarl", "imap-pc+br"]
+
+
+def run_fig5(game_ids: list[str] | None = None, attacks: list[str] | None = None,
+             scale: ExperimentScale | None = None, seed: int = 0,
+             verbose: bool = True) -> dict[str, dict]:
+    scale = scale or current_scale()
+    game_ids = game_ids or GAME_TASKS
+    attacks = attacks or FIG5_ATTACKS
+    out: dict[str, dict] = {}
+    for game_id in game_ids:
+        victim = game_victim_for(game_id, scale, seed=seed)
+        figure = CurveSet(f"Figure 5 — {game_id}: ASR vs attack samples")
+        finals = {}
+        for attack in attacks:
+            result = train_game_attack(game_id, victim, attack, scale, seed=seed)
+            samples, asr = result.curve("asr")
+            for x, y in zip(samples, asr):
+                figure.curve(attack.upper()).add(x, y)
+            ev = evaluate_game_cell(game_id, victim, result, scale)
+            finals[attack] = ev.asr
+            if verbose:
+                print(f"[fig5] {game_id:22s} {attack:12s} final ASR {ev.asr:.2%}",
+                      flush=True)
+        out[game_id] = {"curves": figure, "final_asr": finals}
+    return out

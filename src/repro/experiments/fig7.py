@@ -1,0 +1,38 @@
+"""Figure 7 — ablation over the mixing weight ξ (Eq. 7/9).
+
+Runs multi-agent IMAP-PC+BR with several ξ values on YouShallNotPass.
+The paper's insight: the adversary-space coverage term (1−ξ) is critical
+— ξ = 1 (victim-space only) underperforms — while a moderate victim-space
+share helps.
+"""
+
+from __future__ import annotations
+
+from ..eval.curves import CurveSet
+from .config import ExperimentScale, current_scale
+from .runner import evaluate_game_cell, game_victim_for, train_game_attack
+
+__all__ = ["FIG7_XIS", "run_fig7"]
+
+FIG7_XIS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def run_fig7(game_id: str = "YouShallNotPass-v0", xis: list[float] | None = None,
+             scale: ExperimentScale | None = None, seed: int = 0,
+             verbose: bool = True) -> dict:
+    scale = scale or current_scale()
+    xis = xis or FIG7_XIS
+    victim = game_victim_for(game_id, scale, seed=seed)
+    figure = CurveSet(f"Figure 7 — ξ ablation on {game_id} (IMAP-PC+BR)")
+    finals = {}
+    for xi in xis:
+        result = train_game_attack(game_id, victim, "imap-pc+br", scale, seed=seed, xi=xi)
+        samples, asr = result.curve("asr")
+        label = f"xi={xi}"
+        for x, y in zip(samples, asr):
+            figure.curve(label).add(x, y)
+        ev = evaluate_game_cell(game_id, victim, result, scale)
+        finals[xi] = ev.asr
+        if verbose:
+            print(f"[fig7] {game_id} xi={xi:<5} ASR {ev.asr:.2%}", flush=True)
+    return {"curves": figure, "final_asr": finals}

@@ -1,0 +1,64 @@
+"""Multi-seed attack training (the paper's variance discussion,
+Section 6.3.1: "attackers can train multiple APs using various seeds and
+select the best one").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..attacks.base import AttackResult
+from ..eval.harness import AttackEvaluation
+from ..rl.policy import ActorCritic
+from .config import ExperimentScale
+from .runner import evaluate_cell, train_single_agent_attack
+
+__all__ = ["MultiSeedOutcome", "train_best_of_seeds"]
+
+
+@dataclass
+class MultiSeedOutcome:
+    """Per-seed evaluations plus the deployed (best) attack."""
+
+    attack: str
+    evaluations: list[AttackEvaluation] = field(default_factory=list)
+    results: list[AttackResult] = field(default_factory=list)
+
+    @property
+    def best_index(self) -> int:
+        return int(np.argmin([e.mean_reward for e in self.evaluations]))
+
+    @property
+    def best(self) -> AttackEvaluation:
+        return self.evaluations[self.best_index]
+
+    @property
+    def best_result(self) -> AttackResult:
+        return self.results[self.best_index]
+
+    @property
+    def median_reward(self) -> float:
+        return float(np.median([e.mean_reward for e in self.evaluations]))
+
+    @property
+    def seed_spread(self) -> float:
+        """Max-min victim reward across seeds (the paper's large-std point)."""
+        rewards = [e.mean_reward for e in self.evaluations]
+        return float(max(rewards) - min(rewards))
+
+
+def train_best_of_seeds(env_id: str, victim: ActorCritic, attack: str,
+                        scale: ExperimentScale, seeds: tuple[int, ...] = (0, 1, 2),
+                        epsilon: float | None = None) -> MultiSeedOutcome:
+    """Train ``attack`` with several seeds and keep the strongest one."""
+    outcome = MultiSeedOutcome(attack=attack)
+    for seed in seeds:
+        result = train_single_agent_attack(env_id, victim, attack, scale,
+                                           seed=seed, epsilon=epsilon)
+        evaluation = evaluate_cell(env_id, victim, attack, result, scale,
+                                   seed=1000 + seed, epsilon=epsilon)
+        outcome.results.append(result)
+        outcome.evaluations.append(evaluation)
+    return outcome

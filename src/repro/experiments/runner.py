@@ -1,0 +1,139 @@
+"""Shared experiment plumbing: victims, attacks, and cell evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..attacks import (
+    AttackConfig,
+    AttackResult,
+    OpponentEnv,
+    RandomAttackPolicy,
+    StatePerturbationEnv,
+    default_epsilon,
+    train_apmarl,
+    train_imap,
+    train_sarl,
+)
+from ..defenses import DefenseTrainConfig
+from ..envs import make, make_game
+from ..eval import AttackEvaluation, evaluate_game, evaluate_single_agent
+from ..rl.policy import ActorCritic
+from ..zoo import get_game_victim, get_victim
+from .config import ExperimentScale
+
+__all__ = [
+    "ATTACK_NAMES", "parse_attack_name", "victim_for", "game_victim_for",
+    "attack_config_for", "train_single_agent_attack", "train_game_attack",
+    "evaluate_cell",
+]
+
+ATTACK_NAMES = [
+    "random", "sarl",
+    "imap-sc", "imap-pc", "imap-r", "imap-d",
+    "imap-sc+br", "imap-pc+br", "imap-r+br", "imap-d+br",
+]
+
+
+def parse_attack_name(name: str) -> dict:
+    """Split an attack name into its family and options."""
+    name = name.lower()
+    if name in ("random", "sarl", "apmarl"):
+        return {"family": name}
+    if name.startswith("imap-"):
+        rest = name[len("imap-"):]
+        use_br = rest.endswith("+br")
+        regularizer = rest[:-3] if use_br else rest
+        if regularizer not in ("sc", "pc", "r", "d"):
+            raise ValueError(f"unknown IMAP regularizer in {name!r}")
+        return {"family": "imap", "regularizer": regularizer, "use_br": use_br}
+    raise ValueError(f"unknown attack {name!r}; options: {ATTACK_NAMES + ['apmarl']}")
+
+
+def victim_for(env_id: str, defense: str, scale: ExperimentScale, seed: int = 0) -> ActorCritic:
+    config = DefenseTrainConfig(
+        iterations=scale.victim_iterations,
+        steps_per_iteration=scale.steps_per_iteration,
+        seed=seed,
+        epsilon=default_epsilon(env_id),
+    )
+    return get_victim(env_id, defense, config=config, budget_tag=scale.budget_tag, seed=seed)
+
+
+def game_victim_for(game_id: str, scale: ExperimentScale, seed: int = 0) -> ActorCritic:
+    return get_game_victim(
+        game_id,
+        iterations=scale.game_victim_iterations,
+        steps_per_iteration=scale.steps_per_iteration,
+        hardening_iterations=scale.game_hardening_iterations,
+        hardening_attack_iterations=max(1, scale.game_attack_iterations // 2),
+        budget_tag=scale.budget_tag,
+        seed=seed,
+    )
+
+
+def attack_config_for(scale: ExperimentScale, seed: int, **overrides) -> AttackConfig:
+    config = AttackConfig(
+        iterations=scale.attack_iterations,
+        steps_per_iteration=scale.steps_per_iteration,
+        seed=seed,
+    )
+    return replace(config, **overrides) if overrides else config
+
+
+def train_single_agent_attack(env_id: str, victim: ActorCritic, attack: str,
+                              scale: ExperimentScale, seed: int = 0,
+                              epsilon: float | None = None,
+                              callback=None, **config_overrides) -> AttackResult | None:
+    """Train one attack against one victim; None for non-learned attacks."""
+    spec = parse_attack_name(attack)
+    epsilon = default_epsilon(env_id) if epsilon is None else epsilon
+    if spec["family"] == "random":
+        return None
+    adv_env = StatePerturbationEnv(make(env_id), victim, epsilon=epsilon, seed=seed)
+    config = attack_config_for(scale, seed, **config_overrides)
+    if spec["family"] == "sarl":
+        return train_sarl(adv_env, config, callback=callback)
+    return train_imap(adv_env, spec["regularizer"], config,
+                      use_bias_reduction=spec["use_br"], callback=callback)
+
+
+def train_game_attack(game_id: str, victim: ActorCritic, attack: str,
+                      scale: ExperimentScale, seed: int = 0,
+                      callback=None, **config_overrides) -> AttackResult:
+    spec = parse_attack_name(attack)
+    adv_env = OpponentEnv(make_game(game_id), victim, seed=seed)
+    overrides = {"iterations": scale.game_attack_iterations,
+                 "intrinsic_reward_scale": 0.05, **config_overrides}
+    config = attack_config_for(scale, seed, **overrides)
+    if spec["family"] in ("sarl", "apmarl"):
+        return train_apmarl(adv_env, config, callback=callback)
+    return train_imap(adv_env, spec["regularizer"], config, multi_agent=True,
+                      use_bias_reduction=spec["use_br"], callback=callback)
+
+
+def evaluate_cell(env_id: str, victim: ActorCritic, attack: str,
+                  result: AttackResult | None, scale: ExperimentScale,
+                  seed: int = 1000, epsilon: float | None = None) -> AttackEvaluation:
+    """Evaluate a (victim, attack) pair on the published task."""
+    epsilon = default_epsilon(env_id) if epsilon is None else epsilon
+    spec = parse_attack_name(attack) if attack != "none" else {"family": "none"}
+    env = make(env_id)
+    if spec["family"] == "none":
+        return evaluate_single_agent(env, victim, None, episodes=scale.eval_episodes, seed=seed)
+    if spec["family"] == "random":
+        policy = RandomAttackPolicy(env.observation_space.shape[0], seed=seed)
+        return evaluate_single_agent(env, victim, policy, epsilon=epsilon,
+                                     episodes=scale.eval_episodes, seed=seed,
+                                     attack_deterministic=False)
+    assert result is not None, "learned attacks need a trained AttackResult"
+    return evaluate_single_agent(env, victim, result.policy, epsilon=epsilon,
+                                 episodes=scale.eval_episodes, seed=seed)
+
+
+def evaluate_game_cell(game_id: str, victim: ActorCritic, result: AttackResult,
+                       scale: ExperimentScale, seed: int = 1000) -> AttackEvaluation:
+    return evaluate_game(make_game(game_id), victim, result.policy,
+                         episodes=scale.eval_episodes, seed=seed)

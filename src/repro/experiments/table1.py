@@ -1,0 +1,106 @@
+"""Table 1 — dense-reward locomotion: victim reward under every attack.
+
+Rows: (env, defense) pairs; columns: No Attack, Random, SA-RL and the
+four IMAP variants.  Reproduces the paper's claims that the best IMAP
+variant beats SA-RL on most rows and that IMAP-PC has the best average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..envs.registry import DENSE_TASKS
+from ..eval.metrics import format_mean_std
+from ..eval.tables import bold_min_per_row, render_table
+from .config import ExperimentScale, current_scale
+from .runner import evaluate_cell, train_single_agent_attack, victim_for
+
+__all__ = ["TABLE1_ATTACKS", "TABLE1_DEFENSES", "Table1Cell", "Table1Result", "run_table1"]
+
+TABLE1_ATTACKS = ["none", "random", "sarl", "imap-sc", "imap-pc", "imap-r", "imap-d"]
+TABLE1_DEFENSES = ["ppo", "atla", "sa", "atla_sa", "radial", "wocar"]
+
+
+@dataclass
+class Table1Cell:
+    env_id: str
+    defense: str
+    attack: str
+    mean_reward: float
+    std_reward: float
+    asr: float
+
+
+@dataclass
+class Table1Result:
+    cells: list[Table1Cell] = field(default_factory=list)
+
+    def cell(self, env_id: str, defense: str, attack: str) -> Table1Cell:
+        for c in self.cells:
+            if (c.env_id, c.defense, c.attack) == (env_id, defense, attack):
+                return c
+        raise KeyError((env_id, defense, attack))
+
+    def render(self, attacks: list[str] | None = None) -> str:
+        attacks = attacks or TABLE1_ATTACKS
+        envs = sorted({c.env_id for c in self.cells})
+        rows = []
+        for env_id in envs:
+            defenses = [c.defense for c in self.cells
+                        if c.env_id == env_id and c.attack == attacks[0]]
+            for defense in dict.fromkeys(defenses):
+                formatted, values = [], []
+                for attack in attacks:
+                    c = self.cell(env_id, defense, attack)
+                    formatted.append(format_mean_std(c.mean_reward, c.std_reward, 0))
+                    values.append(c.mean_reward)
+                # bold the strongest *attack* (skip the No Attack column)
+                marked = formatted[:1] + bold_min_per_row(values[1:], formatted[1:])
+                rows.append([env_id, defense] + marked)
+        return render_table(
+            ["Env", "Victim"] + [a.upper() for a in attacks], rows,
+            title="Table 1 — victim episode reward under attack (dense tasks)",
+        )
+
+    def best_imap_beats_sarl_fraction(self) -> float:
+        """Fraction of rows where min(IMAP-*) <= SA-RL (the 15/22 claim)."""
+        wins = total = 0
+        keys = {(c.env_id, c.defense) for c in self.cells}
+        for env_id, defense in keys:
+            try:
+                sarl = self.cell(env_id, defense, "sarl").mean_reward
+                imap = min(self.cell(env_id, defense, f"imap-{r}").mean_reward
+                           for r in ("sc", "pc", "r", "d"))
+            except KeyError:
+                continue
+            total += 1
+            wins += int(imap <= sarl)
+        return wins / total if total else 0.0
+
+
+def run_table1(env_ids: list[str] | None = None, defenses: list[str] | None = None,
+               attacks: list[str] | None = None, scale: ExperimentScale | None = None,
+               seed: int = 0, verbose: bool = True) -> Table1Result:
+    scale = scale or current_scale()
+    env_ids = env_ids or DENSE_TASKS
+    defenses = defenses or TABLE1_DEFENSES
+    attacks = attacks or TABLE1_ATTACKS
+    result = Table1Result()
+    for env_id in env_ids:
+        for defense in defenses:
+            victim = victim_for(env_id, defense, scale, seed=seed)
+            for attack in attacks:
+                trained = None
+                if attack not in ("none", "random"):
+                    trained = train_single_agent_attack(env_id, victim, attack, scale,
+                                                        seed=seed)
+                ev = evaluate_cell(env_id, victim, attack, trained, scale)
+                result.cells.append(Table1Cell(
+                    env_id=env_id, defense=defense, attack=attack,
+                    mean_reward=ev.mean_reward, std_reward=ev.std_reward, asr=ev.asr,
+                ))
+                if verbose:
+                    print(f"[table1] {env_id} {defense:8s} {attack:10s} "
+                          f"{ev.mean_reward:9.1f} ± {ev.std_reward:7.1f}  ASR {ev.asr:.0%}",
+                          flush=True)
+    return result

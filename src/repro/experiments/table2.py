@@ -1,0 +1,117 @@
+"""Table 2 — sparse-reward tasks: nine tasks under SA-RL, the four IMAPs,
+and the best IMAP+BR.
+
+Claims reproduced: IMAP dominates SA-RL on all nine tasks; the winning
+regularizer is task-dependent; BR helps on a subset of tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..envs.registry import SPARSE_TASKS
+from ..eval.metrics import format_mean_std
+from ..eval.tables import bold_min_per_row, render_table
+from .config import ExperimentScale, current_scale
+from .runner import evaluate_cell, train_single_agent_attack, victim_for
+
+__all__ = ["TABLE2_ATTACKS", "Table2Cell", "Table2Result", "run_table2"]
+
+TABLE2_ATTACKS = ["none", "random", "sarl", "imap-sc", "imap-pc", "imap-r", "imap-d"]
+BR_ATTACKS = ["imap-sc+br", "imap-pc+br", "imap-r+br", "imap-d+br"]
+
+
+@dataclass
+class Table2Cell:
+    env_id: str
+    attack: str
+    mean_reward: float
+    std_reward: float
+    asr: float
+
+
+@dataclass
+class Table2Result:
+    cells: list[Table2Cell] = field(default_factory=list)
+    include_br: bool = False
+
+    def cell(self, env_id: str, attack: str) -> Table2Cell:
+        for c in self.cells:
+            if (c.env_id, c.attack) == (env_id, attack):
+                return c
+        raise KeyError((env_id, attack))
+
+    def attacks_present(self) -> list[str]:
+        seen = dict.fromkeys(c.attack for c in self.cells)
+        return list(seen)
+
+    def best_br(self, env_id: str) -> Table2Cell | None:
+        brs = [c for c in self.cells if c.env_id == env_id and c.attack.endswith("+br")]
+        return min(brs, key=lambda c: c.mean_reward) if brs else None
+
+    def render(self) -> str:
+        attacks = [a for a in self.attacks_present() if not a.endswith("+br")]
+        env_ids = list(dict.fromkeys(c.env_id for c in self.cells))
+        headers = ["Env"] + [a.upper() for a in attacks]
+        if self.include_br:
+            headers.append("IMAP+BR (best)")
+        rows = []
+        for env_id in env_ids:
+            formatted, values = [], []
+            for attack in attacks:
+                c = self.cell(env_id, attack)
+                formatted.append(format_mean_std(c.mean_reward, c.std_reward))
+                values.append(c.mean_reward)
+            marked = formatted[:1] + bold_min_per_row(values[1:], formatted[1:])
+            row = [env_id] + marked
+            if self.include_br:
+                best = self.best_br(env_id)
+                row.append(
+                    f"{format_mean_std(best.mean_reward, best.std_reward)} "
+                    f"({best.attack.split('-')[1].split('+')[0].upper()})"
+                    if best else "-"
+                )
+            rows.append(row)
+        return render_table(headers, rows,
+                            title="Table 2 — victim episode reward (sparse tasks)")
+
+    def imap_dominates_sarl_count(self) -> tuple[int, int]:
+        """(rows where best IMAP <= SA-RL, total rows) — the paper's 9/9."""
+        wins = total = 0
+        for env_id in dict.fromkeys(c.env_id for c in self.cells):
+            try:
+                sarl = self.cell(env_id, "sarl").mean_reward
+                imaps = [self.cell(env_id, f"imap-{r}").mean_reward
+                         for r in ("sc", "pc", "r", "d")]
+            except KeyError:
+                continue
+            total += 1
+            wins += int(min(imaps) <= sarl)
+        return wins, total
+
+
+def run_table2(env_ids: list[str] | None = None, attacks: list[str] | None = None,
+               include_br: bool = True, scale: ExperimentScale | None = None,
+               seed: int = 0, verbose: bool = True) -> Table2Result:
+    scale = scale or current_scale()
+    env_ids = env_ids or SPARSE_TASKS
+    attacks = list(attacks or TABLE2_ATTACKS)
+    if include_br:
+        attacks += BR_ATTACKS
+    result = Table2Result(include_br=include_br)
+    for env_id in env_ids:
+        victim = victim_for(env_id, "ppo", scale, seed=seed)
+        for attack in attacks:
+            trained = None
+            if attack not in ("none", "random"):
+                trained = train_single_agent_attack(env_id, victim, attack, scale, seed=seed)
+            ev = evaluate_cell(env_id, victim, attack, trained, scale)
+            result.cells.append(Table2Cell(
+                env_id=env_id, attack=attack,
+                mean_reward=ev.mean_reward, std_reward=ev.std_reward, asr=ev.asr,
+            ))
+            if verbose:
+                print(f"[table2] {env_id:26s} {attack:12s} "
+                      f"{ev.mean_reward:6.2f} ± {ev.std_reward:5.2f}  ASR {ev.asr:.0%}",
+                      flush=True)
+    return result

@@ -1,0 +1,65 @@
+"""Table 3 (appendix) — the full IMAP × BR grid on the sparse tasks.
+
+Same machinery as Table 2 but always runs all four IMAP variants both
+with and without BR, so the per-regularizer effect of bias reduction is
+visible (the paper's underlined cells).
+"""
+
+from __future__ import annotations
+
+from ..envs.registry import SPARSE_TASKS
+from ..eval.metrics import format_mean_std
+from ..eval.tables import render_table
+from .config import ExperimentScale, current_scale
+from .table2 import Table2Result, run_table2
+
+__all__ = ["TABLE3_ATTACKS", "run_table3", "render_table3", "br_improvement_count"]
+
+TABLE3_ATTACKS = [
+    "none", "sarl",
+    "imap-sc", "imap-pc", "imap-r", "imap-d",
+]
+
+
+def run_table3(env_ids: list[str] | None = None, scale: ExperimentScale | None = None,
+               seed: int = 0, verbose: bool = True) -> Table2Result:
+    scale = scale or current_scale()
+    return run_table2(env_ids=env_ids or SPARSE_TASKS, attacks=TABLE3_ATTACKS,
+                      include_br=True, scale=scale, seed=seed, verbose=verbose)
+
+
+def br_improvement_count(result: Table2Result) -> tuple[int, int]:
+    """(tasks where some IMAP+BR beats its base IMAP, total tasks)."""
+    improved = total = 0
+    for env_id in dict.fromkeys(c.env_id for c in result.cells):
+        pairs = []
+        for reg in ("sc", "pc", "r", "d"):
+            try:
+                base = result.cell(env_id, f"imap-{reg}").mean_reward
+                br = result.cell(env_id, f"imap-{reg}+br").mean_reward
+                pairs.append((base, br))
+            except KeyError:
+                continue
+        if not pairs:
+            continue
+        total += 1
+        improved += int(any(br < base for base, br in pairs))
+    return improved, total
+
+
+def render_table3(result: Table2Result) -> str:
+    env_ids = list(dict.fromkeys(c.env_id for c in result.cells))
+    attacks = ["sarl"] + [f"imap-{r}" for r in ("sc", "pc", "r", "d")] + \
+              [f"imap-{r}+br" for r in ("sc", "pc", "r", "d")]
+    rows = []
+    for env_id in env_ids:
+        row = [env_id]
+        for attack in attacks:
+            try:
+                c = result.cell(env_id, attack)
+                row.append(format_mean_std(c.mean_reward, c.std_reward))
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    return render_table(["Env"] + [a.upper() for a in attacks], rows,
+                        title="Table 3 — full IMAP x BR grid (sparse tasks)")

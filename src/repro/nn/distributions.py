@@ -1,0 +1,100 @@
+"""Probability distributions for stochastic policies.
+
+Both distributions support differentiable ``log_prob``/``entropy``/``kl``
+through the autograd engine, plus cheap non-differentiable sampling for
+environment rollouts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, as_tensor
+from .functional import log_softmax, softmax
+
+__all__ = ["DiagGaussian", "Categorical"]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class DiagGaussian:
+    """Diagonal Gaussian over continuous actions.
+
+    Parameters may be Tensors (for differentiable losses) or arrays (for
+    rollout-time sampling).  ``mean`` has shape (..., dim); ``log_std``
+    broadcasts against it (typically shape (dim,): state-independent).
+    """
+
+    def __init__(self, mean, log_std):
+        self.mean = as_tensor(mean)
+        self.log_std = as_tensor(log_std)
+
+    @property
+    def std(self) -> Tensor:
+        return self.log_std.exp()
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        mean = self.mean.data
+        std = np.broadcast_to(np.exp(self.log_std.data), mean.shape)
+        return mean + std * rng.standard_normal(mean.shape)
+
+    def mode(self) -> np.ndarray:
+        return self.mean.data.copy()
+
+    def log_prob(self, actions) -> Tensor:
+        """Log density, summed over the action dimension."""
+        actions = as_tensor(actions)
+        z = (actions - self.mean) * (-self.log_std).exp()
+        per_dim = z**2 * -0.5 - self.log_std - 0.5 * _LOG_2PI
+        return per_dim.sum(axis=-1)
+
+    def entropy(self) -> Tensor:
+        per_dim = self.log_std + 0.5 * (1.0 + _LOG_2PI)
+        # Broadcast state-independent log_std to the batch shape of mean.
+        batch = self.mean * 0.0
+        return (per_dim + batch).sum(axis=-1)
+
+    def kl(self, other: "DiagGaussian") -> Tensor:
+        """KL(self || other), summed over the action dimension."""
+        var_ratio = ((self.log_std - other.log_std) * 2.0).exp()
+        mean_term = ((self.mean - other.mean) * (-other.log_std).exp()) ** 2
+        per_dim = (var_ratio + mean_term - 1.0) * 0.5 + (other.log_std - self.log_std)
+        return per_dim.sum(axis=-1)
+
+
+class Categorical:
+    """Categorical distribution over discrete actions, from logits."""
+
+    def __init__(self, logits):
+        self.logits = as_tensor(logits)
+
+    def probs(self) -> Tensor:
+        return softmax(self.logits, axis=-1)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        p = self.probs().data
+        if p.ndim == 1:
+            return np.asarray(rng.choice(len(p), p=p))
+        cumulative = np.cumsum(p, axis=-1)
+        draws = rng.random(p.shape[:-1] + (1,))
+        return (draws < cumulative).argmax(axis=-1)
+
+    def mode(self) -> np.ndarray:
+        return self.logits.data.argmax(axis=-1)
+
+    def log_prob(self, actions) -> Tensor:
+        logp = log_softmax(self.logits, axis=-1)
+        actions = np.asarray(actions.data if isinstance(actions, Tensor) else actions, dtype=int)
+        if logp.data.ndim == 1:
+            return logp[int(actions)]
+        rows = np.arange(logp.data.shape[0])
+        return logp[rows, actions]
+
+    def entropy(self) -> Tensor:
+        logp = log_softmax(self.logits, axis=-1)
+        return -(logp.exp() * logp).sum(axis=-1)
+
+    def kl(self, other: "Categorical") -> Tensor:
+        logp = log_softmax(self.logits, axis=-1)
+        logq = log_softmax(other.logits, axis=-1)
+        return (logp.exp() * (logp - logq)).sum(axis=-1)

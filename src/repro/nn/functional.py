@@ -1,0 +1,121 @@
+"""Functional operations built on the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, as_tensor
+
+__all__ = [
+    "minimum",
+    "maximum",
+    "where",
+    "concatenate",
+    "stack",
+    "softmax",
+    "log_softmax",
+    "mse_loss",
+    "huber_loss",
+    "logsumexp",
+]
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise minimum with subgradient split on ties."""
+    a, b = as_tensor(a), as_tensor(b)
+    take_a = a.data <= b.data
+
+    def backward(g):
+        if a.requires_grad:
+            a._accumulate(g * take_a)
+        if b.requires_grad:
+            b._accumulate(g * ~take_a)
+
+    return Tensor._make(np.minimum(a.data, b.data), (a, b), backward)
+
+
+def maximum(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    take_a = a.data >= b.data
+
+    def backward(g):
+        if a.requires_grad:
+            a._accumulate(g * take_a)
+        if b.requires_grad:
+            b._accumulate(g * ~take_a)
+
+    return Tensor._make(np.maximum(a.data, b.data), (a, b), backward)
+
+
+def where(condition, a, b) -> Tensor:
+    """Select ``a`` where ``condition`` holds, ``b`` elsewhere."""
+    condition = np.asarray(condition, dtype=bool)
+    a, b = as_tensor(a), as_tensor(b)
+
+    def backward(g):
+        if a.requires_grad:
+            a._accumulate(g * condition)
+        if b.requires_grad:
+            b._accumulate(g * ~condition)
+
+    return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)
+
+
+def concatenate(tensors, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(g):
+        for t, piece in zip(tensors, np.split(g, splits, axis=axis)):
+            if t.requires_grad:
+                t._accumulate(piece)
+
+    return Tensor._make(
+        np.concatenate([t.data for t in tensors], axis=axis), tuple(tensors), backward
+    )
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+
+    def backward(g):
+        for i, t in enumerate(tensors):
+            if t.requires_grad:
+                t._accumulate(np.take(g, i, axis=axis))
+
+    return Tensor._make(np.stack([t.data for t in tensors], axis=axis), tuple(tensors), backward)
+
+
+def logsumexp(x, axis: int = -1, keepdims: bool = False) -> Tensor:
+    x = as_tensor(x)
+    shift = np.max(x.data, axis=axis, keepdims=True)
+    shifted = x - Tensor(shift)
+    out = shifted.exp().sum(axis=axis, keepdims=True).log() + Tensor(shift)
+    if not keepdims:
+        out = out.reshape(np.squeeze(out.data, axis=axis).shape)
+    return out
+
+
+def softmax(x, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    return (x - logsumexp(x, axis=axis, keepdims=True)).exp()
+
+
+def log_softmax(x, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    return x - logsumexp(x, axis=axis, keepdims=True)
+
+
+def mse_loss(prediction, target) -> Tensor:
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    return ((prediction - target) ** 2).mean()
+
+
+def huber_loss(prediction, target, delta: float = 1.0) -> Tensor:
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    error = prediction - target
+    small = np.abs(error.data) <= delta
+    quadratic = error**2 * 0.5
+    linear = error.abs() * delta - 0.5 * delta**2
+    return where(small, quadratic, linear).mean()

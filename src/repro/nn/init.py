@@ -1,0 +1,34 @@
+"""Weight initialization schemes used across the reproduction.
+
+PPO implementations conventionally use orthogonal initialization with
+layer-dependent gains; this matters for stable on-policy training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["orthogonal", "xavier_uniform", "zeros"]
+
+
+def orthogonal(shape: tuple[int, int], gain: float = 1.0, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Return an orthogonal matrix of ``shape`` scaled by ``gain``."""
+    rng = rng or np.random.default_rng()
+    rows, cols = shape
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))  # make the decomposition unique
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def xavier_uniform(shape: tuple[int, int], rng: np.random.Generator | None = None) -> np.ndarray:
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)

@@ -1,0 +1,126 @@
+"""Neural-network modules: parameters, linear layers, and MLPs."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from . import init
+from .autograd import Tensor
+
+__all__ = ["Parameter", "Module", "Linear", "MLP", "activation"]
+
+
+class Parameter(Tensor):
+    """A Tensor flagged as trainable."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        self.requires_grad = True  # parameters train even if created under no_grad
+
+
+class Module:
+    """Minimal module container with named-parameter traversal."""
+
+    def __init__(self):
+        self._parameters: OrderedDict[str, Parameter] = OrderedDict()
+        self._modules: OrderedDict[str, Module] = OrderedDict()
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def named_parameters(self, prefix: str = ""):
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
+            param.data = value.copy()
+
+    def copy_from(self, other: "Module") -> None:
+        self.load_state_dict(other.state_dict())
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with orthogonal init."""
+
+    def __init__(self, in_features: int, out_features: int, gain: float = np.sqrt(2.0),
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.orthogonal((in_features, out_features), gain=gain, rng=rng))
+        self.bias = Parameter(np.zeros(out_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+def activation(name: str):
+    """Look up an activation by name; returns a callable Tensor -> Tensor."""
+    table = {
+        "tanh": lambda t: t.tanh(),
+        "relu": lambda t: t.relu(),
+        "sigmoid": lambda t: t.sigmoid(),
+        "identity": lambda t: t,
+    }
+    if name not in table:
+        raise ValueError(f"unknown activation {name!r}; options: {sorted(table)}")
+    return table[name]
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes and output gain."""
+
+    def __init__(self, in_features: int, hidden_sizes: tuple[int, ...], out_features: int,
+                 hidden_activation: str = "tanh", output_gain: float = 0.01,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.activation = activation(hidden_activation)
+        sizes = (in_features, *hidden_sizes)
+        self.hidden: list[Linear] = []
+        for i, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layer = Linear(n_in, n_out, rng=rng)
+            setattr(self, f"layer{i}", layer)
+            self.hidden.append(layer)
+        self.output = Linear(sizes[-1], out_features, gain=output_gain, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        h = x if isinstance(x, Tensor) else Tensor(x)
+        for layer in self.hidden:
+            h = self.activation(layer(h))
+        return self.output(h)

@@ -1,0 +1,52 @@
+"""Checkpoint (de)serialization for Modules, backed by ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_state", "save_module", "load_state", "load_module"]
+
+_META_KEY = "__meta__"
+
+
+def save_state(state: dict[str, np.ndarray], path: str | Path,
+               metadata: dict | None = None) -> Path:
+    """Save a raw state dict (and optional JSON metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = dict(state)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def save_module(module: Module, path: str | Path, metadata: dict | None = None) -> Path:
+    """Save a module's parameters (and optional JSON metadata) to ``path``."""
+    return save_state(module.state_dict(), path, metadata)
+
+
+def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load a state dict and its metadata from an ``.npz`` checkpoint."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        metadata = {}
+        state = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                metadata = json.loads(archive[key].tobytes().decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    return state, metadata
+
+
+def load_module(module: Module, path: str | Path) -> dict:
+    """Load parameters into ``module`` in place; returns the stored metadata."""
+    state, metadata = load_state(path)
+    module.load_state_dict(state)
+    return metadata

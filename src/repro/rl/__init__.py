@@ -1,0 +1,17 @@
+"""On-policy RL machinery: PPO, GAE buffers, rollouts, normalization."""
+
+from .buffers import RolloutBuffer, compute_gae
+from .normalize import ObservationNormalizer, RewardNormalizer, RunningMeanStd
+from .policy import ActorCritic
+from .ppo import PPOConfig, PPOUpdater
+from .rollout import EpisodeStats, collect_rollout, evaluate_policy
+from .trainer import TrainConfig, TrainResult, quick_eval, train_ppo
+
+__all__ = [
+    "RolloutBuffer", "compute_gae",
+    "RunningMeanStd", "ObservationNormalizer", "RewardNormalizer",
+    "ActorCritic",
+    "PPOConfig", "PPOUpdater",
+    "EpisodeStats", "collect_rollout", "evaluate_policy",
+    "TrainConfig", "TrainResult", "train_ppo", "quick_eval",
+]

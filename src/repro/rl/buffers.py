@@ -1,0 +1,128 @@
+"""Rollout storage with dual-channel Generalized Advantage Estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RolloutBuffer", "compute_gae"]
+
+
+def compute_gae(rewards: np.ndarray, values: np.ndarray, terminated: np.ndarray,
+                bootstrap: np.ndarray, gamma: float, lam: float) -> tuple[np.ndarray, np.ndarray]:
+    """GAE(λ) over a flat rollout with episode boundaries.
+
+    ``bootstrap[t]`` must hold V(s_{t+1}) for every step (0 where the
+    episode terminated).  Episode ends (terminated or truncated) stop the
+    advantage recursion.  Returns ``(advantages, returns)``.
+    """
+    n = len(rewards)
+    advantages = np.zeros(n)
+    last_adv = 0.0
+    for t in range(n - 1, -1, -1):
+        next_value = bootstrap[t]
+        delta = rewards[t] + gamma * next_value - values[t]
+        if terminated[t] >= 0.5:  # episode boundary: no flow-through
+            last_adv = delta
+        else:
+            last_adv = delta + gamma * lam * last_adv
+        advantages[t] = last_adv
+    returns = advantages + values
+    return advantages, returns
+
+
+class RolloutBuffer:
+    """Fixed-size on-policy rollout with extrinsic + intrinsic channels.
+
+    Intrinsic rewards may be filled in *after* collection (IMAP computes
+    the bonus from KNN density over the finished batch) via
+    :meth:`set_intrinsic_rewards`.
+    """
+
+    def __init__(self, capacity: int, obs_dim: int, action_dim: int):
+        self.capacity = capacity
+        self.obs = np.zeros((capacity, obs_dim))
+        self.actions = np.zeros((capacity, action_dim))
+        self.log_probs = np.zeros(capacity)
+        self.rewards_e = np.zeros(capacity)
+        self.rewards_i = np.zeros(capacity)
+        self.values_e = np.zeros(capacity)
+        self.values_i = np.zeros(capacity)
+        # done[t]: 1 if the episode ended after step t (either way);
+        # terminated[t]: 1 only for true environment termination.
+        self.dones = np.zeros(capacity)
+        self.terminated = np.zeros(capacity)
+        self.bootstrap_e = np.zeros(capacity)
+        self.bootstrap_i = np.zeros(capacity)
+        self.ptr = 0
+
+    def __len__(self) -> int:
+        return self.ptr
+
+    @property
+    def full(self) -> bool:
+        return self.ptr >= self.capacity
+
+    def add(self, obs, action, log_prob, reward_e, value_e, value_i=0.0,
+            reward_i=0.0, done=False, terminated=False) -> None:
+        if self.full:
+            raise RuntimeError("rollout buffer is full")
+        i = self.ptr
+        self.obs[i] = obs
+        self.actions[i] = action
+        self.log_probs[i] = log_prob
+        self.rewards_e[i] = reward_e
+        self.rewards_i[i] = reward_i
+        self.values_e[i] = value_e
+        self.values_i[i] = value_i
+        self.dones[i] = float(done)
+        self.terminated[i] = float(terminated)
+        self.ptr += 1
+
+    def set_intrinsic_rewards(self, rewards: np.ndarray) -> None:
+        rewards = np.asarray(rewards, dtype=np.float64)
+        if rewards.shape != (self.ptr,):
+            raise ValueError(f"expected shape ({self.ptr},), got {rewards.shape}")
+        self.rewards_i[: self.ptr] = rewards
+
+    def set_bootstrap(self, index: int, value_e: float, value_i: float = 0.0) -> None:
+        """Record V(s_{t+1}) for a step (used at truncations and buffer end)."""
+        self.bootstrap_e[index] = value_e
+        self.bootstrap_i[index] = value_i
+
+    def finish(self, gamma: float, lam: float) -> dict[str, np.ndarray]:
+        """Compute per-channel advantages/returns; returns the training batch."""
+        n = self.ptr
+        # Default bootstrap: next stored value (same trajectory); zero at
+        # terminations; explicit values at truncations/buffer end were set
+        # via set_bootstrap.
+        boot_e = self.bootstrap_e[:n].copy()
+        boot_i = self.bootstrap_i[:n].copy()
+        for t in range(n - 1):
+            if self.dones[t] < 0.5:
+                boot_e[t] = self.values_e[t + 1]
+                boot_i[t] = self.values_i[t + 1]
+        boot_e[self.terminated[:n] >= 0.5] = 0.0
+        boot_i[self.terminated[:n] >= 0.5] = 0.0
+
+        # Treat the end of the buffer / truncations as boundaries for the
+        # recursion (terminated OR truncated stops flow-through).
+        boundary = self.dones[:n].copy()
+        boundary[-1] = 1.0
+        adv_e, ret_e = compute_gae(self.rewards_e[:n], self.values_e[:n], boundary,
+                                   boot_e, gamma, lam)
+        adv_i, ret_i = compute_gae(self.rewards_i[:n], self.values_i[:n], boundary,
+                                   boot_i, gamma, lam)
+        return {
+            "obs": self.obs[:n],
+            "actions": self.actions[:n],
+            "log_probs": self.log_probs[:n],
+            "advantages_e": adv_e,
+            "advantages_i": adv_i,
+            "returns_e": ret_e,
+            "returns_i": ret_i,
+        }
+
+    def reset(self) -> None:
+        self.ptr = 0
+        self.bootstrap_e[:] = 0.0
+        self.bootstrap_i[:] = 0.0

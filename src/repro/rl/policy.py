@@ -1,0 +1,102 @@
+"""Actor-critic policies with optional dual value heads.
+
+The extrinsic head estimates ``V_E`` and the (optional) intrinsic head
+``V_I``; IMAP optimizes the combined advantage ``Â_E + τ_k Â_I``
+(paper Eq. 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import MLP, DiagGaussian, Parameter, Tensor
+from .normalize import ObservationNormalizer
+
+__all__ = ["ActorCritic"]
+
+
+class ActorCritic(nn.Module):
+    """Gaussian MLP policy + one or two value heads + obs normalizer."""
+
+    def __init__(self, obs_dim: int, action_dim: int,
+                 hidden_sizes: tuple[int, ...] = (64, 64),
+                 log_std_init: float = -0.5,
+                 dual_value: bool = False,
+                 normalize_obs: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.obs_dim = obs_dim
+        self.action_dim = action_dim
+        self.dual_value = dual_value
+        self.actor = MLP(obs_dim, hidden_sizes, action_dim, output_gain=0.01, rng=rng)
+        self.log_std = Parameter(np.full(action_dim, log_std_init))
+        self.critic = MLP(obs_dim, hidden_sizes, 1, output_gain=1.0, rng=rng)
+        if dual_value:
+            self.critic_intrinsic = MLP(obs_dim, hidden_sizes, 1, output_gain=1.0, rng=rng)
+        self.normalizer = ObservationNormalizer((obs_dim,)) if normalize_obs else None
+
+    # ------------------------------------------------------------ observation
+
+    def normalize(self, obs: np.ndarray, update: bool = False) -> np.ndarray:
+        if self.normalizer is None:
+            return np.asarray(obs, dtype=np.float64)
+        return self.normalizer(obs, update=update)
+
+    def freeze_normalizer(self) -> None:
+        if self.normalizer is not None:
+            self.normalizer.freeze()
+
+    # ----------------------------------------------------------- distribution
+
+    def distribution(self, normalized_obs) -> DiagGaussian:
+        """Policy distribution over actions; input must already be normalized."""
+        return DiagGaussian(self.actor(normalized_obs), self.log_std)
+
+    def act(self, obs: np.ndarray, rng: np.random.Generator,
+            deterministic: bool = False, update_normalizer: bool = False):
+        """Single-step rollout action.
+
+        Returns ``(action, log_prob, value_e, value_i, normalized_obs)``.
+        """
+        normalized = self.normalize(obs, update=update_normalizer)
+        with nn.no_grad():
+            dist = self.distribution(normalized)
+            action = dist.mode() if deterministic else dist.sample(rng)
+            log_prob = float(dist.log_prob(action).data.item())
+            value_e = float(self.critic(normalized).data.item())
+            value_i = (
+                float(self.critic_intrinsic(normalized).data.item()) if self.dual_value else 0.0
+            )
+        return action, log_prob, value_e, value_i, normalized
+
+    def action(self, obs: np.ndarray, rng: np.random.Generator,
+               deterministic: bool = False) -> np.ndarray:
+        """Convenience: just the action (used for deployed/fixed policies)."""
+        return self.act(obs, rng, deterministic=deterministic)[0]
+
+    # ----------------------------------------------------------------- values
+
+    def value(self, normalized_obs) -> Tensor:
+        return self.critic(normalized_obs).reshape((-1,))
+
+    def value_intrinsic(self, normalized_obs) -> Tensor:
+        if not self.dual_value:
+            raise RuntimeError("policy was built without an intrinsic value head")
+        return self.critic_intrinsic(normalized_obs).reshape((-1,))
+
+    # ------------------------------------------------------------- checkpoint
+
+    def checkpoint_state(self) -> dict[str, np.ndarray]:
+        state = self.state_dict()
+        if self.normalizer is not None:
+            for key, value in self.normalizer.state().items():
+                state[f"__norm__{key}"] = value
+        return state
+
+    def load_checkpoint_state(self, state: dict[str, np.ndarray]) -> None:
+        params = {k: v for k, v in state.items() if not k.startswith("__norm__")}
+        self.load_state_dict(params)
+        norm = {k[len("__norm__"):]: v for k, v in state.items() if k.startswith("__norm__")}
+        if norm and self.normalizer is not None:
+            self.normalizer.load(norm)

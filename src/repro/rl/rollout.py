@@ -1,0 +1,102 @@
+"""Rollout collection and policy evaluation for single-agent Envs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..envs.core import Env
+from .buffers import RolloutBuffer
+from .policy import ActorCritic
+
+__all__ = ["EpisodeStats", "collect_rollout", "evaluate_policy"]
+
+
+@dataclass
+class EpisodeStats:
+    """Aggregates over the episodes finished during a rollout."""
+
+    returns: list[float] = field(default_factory=list)
+    lengths: list[int] = field(default_factory=list)
+    successes: list[bool] = field(default_factory=list)
+
+    def add(self, ep_return: float, length: int, success: bool) -> None:
+        self.returns.append(ep_return)
+        self.lengths.append(length)
+        self.successes.append(success)
+
+    @property
+    def mean_return(self) -> float:
+        return float(np.mean(self.returns)) if self.returns else 0.0
+
+    @property
+    def std_return(self) -> float:
+        return float(np.std(self.returns)) if self.returns else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        return float(np.mean(self.successes)) if self.successes else 0.0
+
+    def __len__(self) -> int:
+        return len(self.returns)
+
+
+def collect_rollout(env: Env, policy: ActorCritic, buffer: RolloutBuffer,
+                    rng: np.random.Generator, update_normalizer: bool = True,
+                    ) -> EpisodeStats:
+    """Fill ``buffer`` with on-policy experience from ``env``.
+
+    The buffer stores *normalized* observations (the exact inputs the
+    policy saw), so PPO updates are consistent even while the normalizer
+    statistics move.
+    """
+    stats = EpisodeStats()
+    obs = env.reset()
+    ep_return, ep_length, ep_success = 0.0, 0, False
+    buffer.reset()
+    while not buffer.full:
+        action, log_prob, value_e, value_i, normalized = policy.act(
+            obs, rng, update_normalizer=update_normalizer
+        )
+        next_obs, reward, terminated, truncated, info = env.step(action)
+        done = terminated or truncated
+        ep_return += reward
+        ep_length += 1
+        ep_success = ep_success or bool(info.get("success", False))
+        buffer.add(normalized, action, log_prob, reward, value_e, value_i,
+                   done=done, terminated=terminated)
+        index = buffer.ptr - 1
+        if done:
+            if not terminated:  # truncation: bootstrap with V(s_next)
+                _, _, be, bi, _ = policy.act(next_obs, rng)
+                buffer.set_bootstrap(index, be, bi)
+            stats.add(ep_return, ep_length, ep_success)
+            obs = env.reset()
+            ep_return, ep_length, ep_success = 0.0, 0, False
+        else:
+            obs = next_obs
+            if buffer.full:  # buffer ends mid-episode: bootstrap
+                _, _, be, bi, _ = policy.act(obs, rng)
+                buffer.set_bootstrap(index, be, bi)
+    return stats
+
+
+def evaluate_policy(env: Env, policy: ActorCritic, episodes: int,
+                    rng: np.random.Generator, deterministic: bool = True,
+                    ) -> EpisodeStats:
+    """Run ``episodes`` evaluation episodes (no learning side effects)."""
+    stats = EpisodeStats()
+    for _ in range(episodes):
+        obs = env.reset()
+        done = False
+        ep_return, ep_length, ep_success = 0.0, 0, False
+        while not done:
+            action = policy.action(obs, rng, deterministic=deterministic)
+            obs, reward, terminated, truncated, info = env.step(action)
+            done = terminated or truncated
+            ep_return += reward
+            ep_length += 1
+            ep_success = ep_success or bool(info.get("success", False))
+        stats.add(ep_return, ep_length, ep_success)
+    return stats

@@ -1,0 +1,85 @@
+"""Generic PPO training loop over a single-agent Env."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..envs.core import Env
+from .buffers import RolloutBuffer
+from .policy import ActorCritic
+from .ppo import PPOConfig, PPOUpdater
+from .rollout import collect_rollout, evaluate_policy
+
+__all__ = ["TrainConfig", "TrainResult", "train_ppo"]
+
+
+@dataclass
+class TrainConfig:
+    iterations: int = 40
+    steps_per_iteration: int = 2048
+    hidden_sizes: tuple[int, ...] = (64, 64)
+    seed: int = 0
+    ppo: PPOConfig = field(default_factory=PPOConfig)
+    log_every: int = 0  # 0 = silent
+
+
+@dataclass
+class TrainResult:
+    policy: ActorCritic
+    history: list[dict[str, float]]
+
+    @property
+    def final_return(self) -> float:
+        return self.history[-1]["mean_return"] if self.history else 0.0
+
+
+def train_ppo(env: Env, config: TrainConfig | None = None,
+              policy: ActorCritic | None = None, extra_loss=None,
+              callback=None) -> TrainResult:
+    """Train an actor-critic with PPO on ``env``.
+
+    ``extra_loss(policy, obs, dist) -> Tensor`` lets defenses add their
+    regularizer; ``callback(iteration, policy, stats)`` supports
+    adversarial-training loops (ATLA) and curve recording.
+    """
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    env.seed(config.seed)
+    obs_dim = env.observation_space.shape[0]
+    action_dim = env.action_space.shape[0]
+    if policy is None:
+        policy = ActorCritic(obs_dim, action_dim, hidden_sizes=config.hidden_sizes,
+                             rng=np.random.default_rng(config.seed))
+    updater = PPOUpdater(policy, config.ppo, extra_loss=extra_loss)
+    buffer = RolloutBuffer(config.steps_per_iteration, obs_dim, action_dim)
+
+    history: list[dict[str, float]] = []
+    for iteration in range(config.iterations):
+        stats = collect_rollout(env, policy, buffer, rng)
+        batch = buffer.finish(config.ppo.gamma, config.ppo.gae_lambda)
+        diag = updater.update(batch, rng=rng)
+        record = {
+            "iteration": iteration,
+            "mean_return": stats.mean_return,
+            "success_rate": stats.success_rate,
+            "episodes": float(len(stats)),
+            **diag,
+        }
+        history.append(record)
+        if config.log_every and iteration % config.log_every == 0:
+            print(
+                f"[ppo] iter {iteration:3d} return {stats.mean_return:9.2f} "
+                f"success {stats.success_rate:5.2f} kl {diag['approx_kl']:.4f}"
+            )
+        if callback is not None:
+            callback(iteration, policy, record)
+    return TrainResult(policy=policy, history=history)
+
+
+def quick_eval(env: Env, policy: ActorCritic, episodes: int = 20, seed: int = 123):
+    """Deterministic evaluation helper returning EpisodeStats."""
+    rng = np.random.default_rng(seed)
+    env.seed(seed)
+    return evaluate_policy(env, policy, episodes, rng)

@@ -1,0 +1,17 @@
+"""Victim zoo: cached pretrained victims per (env, defense, budget, seed)."""
+
+from .game_env import VictimGameEnv
+from .opponents import WeakBlocker, WeakGoalie
+from .train import (
+    artifacts_dir,
+    get_game_victim,
+    get_victim,
+    training_env_factory,
+    victim_cache_path,
+)
+
+__all__ = [
+    "get_victim", "get_game_victim", "training_env_factory",
+    "victim_cache_path", "artifacts_dir",
+    "VictimGameEnv", "WeakBlocker", "WeakGoalie",
+]

@@ -1,0 +1,43 @@
+"""Single-agent view of a two-player game for victim pretraining."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..envs.core import Env
+from ..envs.multiagent.core import TwoPlayerEnv
+
+__all__ = ["VictimGameEnv"]
+
+
+class VictimGameEnv(Env):
+    """Expose a game's victim seat as a standard Env vs a fixed opponent."""
+
+    def __init__(self, game: TwoPlayerEnv, opponent, seed: int = 0):
+        super().__init__()
+        self.game = game
+        self.opponent = opponent
+        self.observation_space = game.victim_observation_space
+        self.action_space = game.victim_action_space
+        self._opponent_rng = np.random.default_rng(seed)
+        self._adversary_obs: np.ndarray | None = None
+
+    def seed(self, seed: int | None) -> None:
+        super().seed(seed)
+        self.game.seed(seed)
+        self._opponent_rng = np.random.default_rng(None if seed is None else seed + 1)
+
+    def _reset(self) -> np.ndarray:
+        victim_obs, adversary_obs = self.game.reset()
+        self._adversary_obs = adversary_obs
+        if hasattr(self.opponent, "reset"):
+            self.opponent.reset()
+        return victim_obs
+
+    def step(self, action):
+        opp_action = self.opponent.action(self._adversary_obs, self._opponent_rng)
+        (victim_obs, adversary_obs), (r_v, _), done, info = self.game.step(action, opp_action)
+        self._adversary_obs = adversary_obs
+        info = dict(info)
+        info["success"] = bool(info.get("victim_win", False))
+        return victim_obs, r_v, done, False, info

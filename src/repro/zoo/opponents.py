@@ -1,0 +1,90 @@
+"""Scripted opponents used to pretrain the game victims.
+
+The paper's victims come from Bansal et al.'s self-play zoo; ours are
+PPO-trained against these scripted proxies of "random old versions of
+their opponents" — competent enough to force real skills, weak enough to
+leave exploitable blind spots for the adversarial policy to find.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WeakBlocker", "Rammer", "MixtureOpponent", "WeakGoalie"]
+
+
+class WeakBlocker:
+    """YouShallNotPass opponent: drifts toward the runner's lane, slowly.
+
+    It tracks the runner's y-position with limited speed and never
+    braces, so a trained runner learns to dodge-and-dash — a habit a
+    blocking adversary can later exploit.
+    """
+
+    def __init__(self, seed: int = 0, aggressiveness: float = 0.5):
+        self._rng = np.random.default_rng(seed)
+        self.aggressiveness = aggressiveness
+
+    def action(self, obs: np.ndarray, rng: np.random.Generator | None = None,
+               deterministic: bool = False) -> np.ndarray:
+        rng = rng or self._rng
+        # adversary obs layout: me(6) other(6) delta(2); delta = runner - me
+        delta = obs[12:14]
+        fx = np.clip(self.aggressiveness * np.sign(delta[0]), -1, 1)
+        fy = np.clip(self.aggressiveness * delta[1], -1, 1)
+        jitter = rng.normal(0.0, 0.3, size=2)
+        return np.array([fx + jitter[0], fy + jitter[1], -1.0])
+
+
+class Rammer:
+    """YouShallNotPass opponent: charges straight at the runner, braced.
+
+    Training against it teaches the runner to dodge contact — the skill
+    that later makes dithering adversaries ineffective.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def action(self, obs: np.ndarray, rng: np.random.Generator | None = None,
+               deterministic: bool = False) -> np.ndarray:
+        delta = obs[12:14]
+        norm = float(np.linalg.norm(delta))
+        direction = delta / norm if norm > 1e-6 else np.zeros(2)
+        return np.array([direction[0], direction[1], 1.0])
+
+
+class MixtureOpponent:
+    """Samples a sub-opponent per episode (self-play-zoo proxy)."""
+
+    def __init__(self, opponents: list, seed: int = 0):
+        if not opponents:
+            raise ValueError("MixtureOpponent needs at least one opponent")
+        self.opponents = list(opponents)
+        self._rng = np.random.default_rng(seed)
+        self._current = self.opponents[0]
+
+    def reset(self) -> None:
+        self._current = self.opponents[int(self._rng.integers(len(self.opponents)))]
+
+    def action(self, obs: np.ndarray, rng: np.random.Generator | None = None,
+               deterministic: bool = False) -> np.ndarray:
+        return self._current.action(obs, rng, deterministic=deterministic)
+
+
+class WeakGoalie:
+    """KickAndDefend opponent: tracks the ball's y with lag and noise."""
+
+    def __init__(self, seed: int = 0, gain: float = 0.6):
+        self._rng = np.random.default_rng(seed)
+        self.gain = gain
+
+    def action(self, obs: np.ndarray, rng: np.random.Generator | None = None,
+               deterministic: bool = False) -> np.ndarray:
+        rng = rng or self._rng
+        # adversary obs layout: me(6) opp(6) ball_pos(2) ball_vel(2) gate_dx(1)
+        my_y = obs[1]
+        ball_y = obs[13]
+        fy = np.clip(self.gain * (ball_y - my_y), -1, 1)
+        jitter = float(rng.normal(0.0, 0.25))
+        return np.array([0.0, fy + jitter, 0.5])

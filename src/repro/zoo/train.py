@@ -1,0 +1,192 @@
+"""Victim zoo: train-and-cache victims per (env, defense, budget, seed).
+
+Checkpoints land in ``$REPRO_ARTIFACTS/zoo`` (default ``artifacts/zoo``)
+as ``.npz`` files with enough metadata to rebuild the policy without
+retraining.  Sparse tasks train on their shaped-reward twins (the
+victim's private reward); evaluation always runs on the published task.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from ..defenses import DefenseTrainConfig, get_defense
+from ..envs import make, make_game
+from ..envs.core import TimeLimit
+from ..envs.locomotion import LocomotionEnv
+from ..envs.manipulation import FetchReachEnv
+from ..envs.navigation import Ant4RoomsEnv, AntUMazeEnv
+from ..nn.serialization import load_state, save_state
+from ..rl.policy import ActorCritic
+from ..rl.trainer import TrainConfig, train_ppo
+from .game_env import VictimGameEnv
+from .opponents import MixtureOpponent, Rammer, WeakBlocker, WeakGoalie
+
+__all__ = ["artifacts_dir", "training_env_factory", "get_victim", "get_game_victim",
+           "victim_cache_path"]
+
+
+def artifacts_dir() -> Path:
+    return Path(os.environ.get("REPRO_ARTIFACTS", "artifacts")) / "zoo"
+
+
+def training_env_factory(env_id: str):
+    """Factory for the victim's *training* environment.
+
+    Dense tasks train where they are evaluated.  Sparse tasks train on a
+    shaped-reward twin (same body/dynamics/success definition): the
+    paper's victims were likewise trained with private shaped rewards the
+    adversary never sees.
+    """
+    if env_id.startswith("Sparse"):
+        def factory():
+            sparse = make(env_id)
+            # unwrap TimeLimit -> SparseLocomotionEnv -> inner dense env config
+            inner = sparse.unwrapped
+            return TimeLimit(LocomotionEnv(inner.config), 200)
+        return factory
+    if env_id == "AntUMaze-v0":
+        return lambda: AntUMazeEnv(shaped=True)
+    if env_id == "Ant4Rooms-v0":
+        return lambda: Ant4RoomsEnv(shaped=True)
+    if env_id == "FetchReach-v0":
+        return lambda: FetchReachEnv(shaped=True)
+    return lambda: make(env_id)
+
+
+def victim_cache_path(env_id: str, defense: str, budget_tag: str, seed: int) -> Path:
+    safe = env_id.replace("/", "_")
+    return artifacts_dir() / f"{safe}__{defense}__{budget_tag}__seed{seed}.npz"
+
+
+def _load_cached(path: Path) -> ActorCritic | None:
+    if not path.exists():
+        return None
+    state, meta = load_state(path)
+    policy = ActorCritic(
+        int(meta["obs_dim"]), int(meta["action_dim"]),
+        hidden_sizes=tuple(meta["hidden_sizes"]),
+    )
+    params = {k: v for k, v in state.items() if not k.startswith("__norm__")}
+    policy.load_state_dict(params)
+    norm = {k[len("__norm__"):]: v for k, v in state.items() if k.startswith("__norm__")}
+    if norm:
+        policy.normalizer.load(norm)
+    policy.freeze_normalizer()
+    return policy
+
+
+def _save(policy: ActorCritic, path: Path, meta: dict) -> None:
+    save_state(policy.checkpoint_state(), path, metadata=meta)
+
+
+def get_victim(env_id: str, defense: str = "ppo",
+               config: DefenseTrainConfig | None = None,
+               budget_tag: str = "default", seed: int = 0,
+               force_retrain: bool = False) -> ActorCritic:
+    """Return (training if necessary) a cached single-agent victim."""
+    config = config or DefenseTrainConfig(seed=seed)
+    if config.seed != seed:
+        config = replace(config, seed=seed)
+    path = victim_cache_path(env_id, defense, budget_tag, seed)
+    if not force_retrain:
+        cached = _load_cached(path)
+        if cached is not None:
+            return cached
+    trainer = get_defense(defense)
+    factory = training_env_factory(env_id)
+    policy = trainer(factory, config)
+    probe = factory()
+    _save(policy, path, {
+        "env_id": env_id,
+        "defense": defense,
+        "budget_tag": budget_tag,
+        "seed": seed,
+        "obs_dim": probe.observation_space.shape[0],
+        "action_dim": probe.action_space.shape[0],
+        "hidden_sizes": list(config.hidden_sizes),
+    })
+    return policy
+
+
+class _PolicyOpponent:
+    """Adapter: play a trained (frozen) adversary policy as an opponent."""
+
+    def __init__(self, policy, seed: int = 0):
+        self.policy = policy
+        self._rng = np.random.default_rng(seed)
+
+    def action(self, obs, rng=None, deterministic: bool = False):
+        return self.policy.action(obs, rng or self._rng, deterministic=False)
+
+
+def get_game_victim(game_id: str, iterations: int = 40, steps_per_iteration: int = 2048,
+                    hidden_sizes: tuple[int, ...] = (64, 64),
+                    hardening_iterations: int = 30, hardening_attack_iterations: int = 15,
+                    budget_tag: str = "default", seed: int = 0,
+                    force_retrain: bool = False) -> ActorCritic:
+    """Return (training if necessary) a cached game victim (runner/kicker).
+
+    The recipe proxies the paper's self-play zoo: (1) PPO against a
+    mixture of scripted opponent styles, (2) one adversarial hardening
+    phase — train an AP-MARL blocker against the victim, then continue
+    victim training against a mixture including that learned opponent.
+    Set ``hardening_iterations=0`` to skip phase 2.
+    """
+    path = victim_cache_path(game_id, "selfplay", budget_tag, seed)
+    if not force_retrain:
+        cached = _load_cached(path)
+        if cached is not None:
+            return cached
+    game = make_game(game_id)
+    if game_id.startswith("YouShallNotPass"):
+        scripted = [WeakBlocker(seed=seed), WeakBlocker(seed=seed + 1, aggressiveness=0.9),
+                    Rammer(seed=seed)]
+    else:
+        scripted = [WeakGoalie(seed=seed), WeakGoalie(seed=seed + 1, gain=1.0)]
+    opponent = MixtureOpponent(list(scripted), seed=seed)
+    env = VictimGameEnv(game, opponent, seed=seed)
+    result = train_ppo(env, TrainConfig(
+        iterations=iterations, steps_per_iteration=steps_per_iteration,
+        hidden_sizes=hidden_sizes, seed=seed,
+    ))
+    policy = result.policy
+
+    if hardening_iterations > 0:
+        from ..attacks.apmarl import train_apmarl
+        from ..attacks.base import AttackConfig
+        from ..attacks.threat_models import OpponentEnv
+
+        attack = train_apmarl(
+            OpponentEnv(make_game(game_id), policy),
+            AttackConfig(iterations=hardening_attack_iterations,
+                         steps_per_iteration=steps_per_iteration,
+                         hidden_sizes=hidden_sizes, seed=seed + 31),
+        )
+        hardened_mix = MixtureOpponent(
+            list(scripted) + [_PolicyOpponent(attack.policy, seed + 5),
+                              _PolicyOpponent(attack.policy, seed + 6)],
+            seed=seed + 2,
+        )
+        env2 = VictimGameEnv(make_game(game_id), hardened_mix, seed=seed + 3)
+        result = train_ppo(env2, TrainConfig(
+            iterations=hardening_iterations, steps_per_iteration=steps_per_iteration,
+            hidden_sizes=hidden_sizes, seed=seed + 4,
+        ), policy=policy)
+        policy = result.policy
+
+    policy.freeze_normalizer()
+    _save(policy, path, {
+        "env_id": game_id,
+        "defense": "selfplay",
+        "budget_tag": budget_tag,
+        "seed": seed,
+        "obs_dim": game.victim_observation_space.shape[0],
+        "action_dim": game.victim_action_space.shape[0],
+        "hidden_sizes": list(hidden_sizes),
+    })
+    return policy

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifacts(tmp_path, monkeypatch):
+    """Keep zoo checkpoints out of the repo during tests."""
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "artifacts"))
+
+
+@pytest.fixture
+def tiny_victim():
+    """A quickly trained Hopper victim shared across attack tests."""
+    from repro import envs
+    from repro.rl import TrainConfig, train_ppo
+
+    result = train_ppo(envs.make("Hopper-v0"),
+                       TrainConfig(iterations=2, steps_per_iteration=256, seed=0))
+    result.policy.freeze_normalizer()
+    return result.policy

@@ -1,0 +1,161 @@
+"""AdversaryTrainer mechanics: rollout collection, BR schedule, history,
+best-checkpoint selection, and the attack entry points."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.attacks import (
+    AttackConfig,
+    DenseRewardAdversaryWrapper,
+    OpponentEnv,
+    StatePerturbationEnv,
+    collect_adversary_rollout,
+    train_apmarl,
+    train_imap,
+    train_sarl,
+)
+from repro.attacks.trainer import AdversaryTrainer
+from repro.rl import ActorCritic
+
+
+@pytest.fixture
+def adv_env(tiny_victim):
+    return StatePerturbationEnv(envs.make("Hopper-v0"), tiny_victim, epsilon=0.3)
+
+
+def tiny_config(**kw):
+    defaults = dict(iterations=2, steps_per_iteration=128, hidden_sizes=(8,), seed=0)
+    defaults.update(kw)
+    return AttackConfig(**defaults)
+
+
+class TestCollectRollout:
+    def test_rollout_shapes(self, adv_env, rng):
+        policy = ActorCritic(11, 11, hidden_sizes=(8,), rng=rng)
+        adv_env.seed(0)
+        rollout = collect_adversary_rollout(adv_env, policy, 100, rng)
+        assert len(rollout) == 100
+        assert rollout.knn_victim.shape == (100, 11)
+        assert rollout.obs.shape == (100, 11)
+        assert len(rollout.episode_rewards) == len(rollout.episode_successes)
+
+    def test_j_ap_estimate(self, adv_env, rng):
+        policy = ActorCritic(11, 11, hidden_sizes=(8,), rng=rng)
+        adv_env.seed(0)
+        rollout = collect_adversary_rollout(adv_env, policy, 300, rng)
+        assert -1.0 <= rollout.j_ap <= 0.0
+        assert 0.0 <= rollout.victim_success_rate <= 1.0
+
+
+class TestTrainerLoop:
+    def test_sarl_history_fields(self, adv_env):
+        result = train_sarl(adv_env, tiny_config())
+        assert result.name == "SA-RL"
+        assert len(result.history) == 2
+        for key in ("j_ap", "asr", "victim_success_rate", "mean_victim_reward",
+                    "tau", "samples"):
+            assert key in result.history[0]
+        assert result.history[0]["tau"] == 0.0  # no regularizer
+
+    def test_imap_uses_intrinsic(self, adv_env):
+        result = train_imap(adv_env, "sc", tiny_config())
+        assert result.name == "IMAP-SC"
+        assert result.history[0]["tau"] == 1.0
+        assert result.policy.dual_value
+
+    def test_imap_br_name_and_lambda(self, adv_env):
+        result = train_imap(adv_env, "pc", tiny_config(iterations=3),
+                            use_bias_reduction=True)
+        assert result.name == "IMAP-PC+BR"
+        assert all(h["lambda"] >= 0.0 for h in result.history)
+
+    def test_dense_reward_wrapper(self, adv_env):
+        wrapped = DenseRewardAdversaryWrapper(adv_env, scale=0.01)
+        wrapped.reset(seed=0)
+        _, reward, _, _, info = wrapped.step(np.zeros(11))
+        assert reward == pytest.approx(-0.01 * info["victim_reward"])
+
+    def test_sarl_dense_variant_name(self, adv_env):
+        result = train_sarl(adv_env, tiny_config(), use_dense_reward=True)
+        assert result.name == "SA-RL(dense)"
+
+    def test_curve_extraction(self, adv_env):
+        result = train_sarl(adv_env, tiny_config(iterations=3))
+        x, y = result.curve("asr")
+        assert len(x) == len(y) == 3
+        assert (np.diff(x) > 0).all()  # cumulative samples increase
+
+    def test_callback(self, adv_env):
+        seen = []
+        train_sarl(adv_env, tiny_config(), callback=lambda i, p, r: seen.append(i))
+        assert seen == [0, 1]
+
+    def test_apmarl_on_game(self, rng):
+        victim = ActorCritic(14, 3, hidden_sizes=(8,), rng=rng)
+        adv_env = OpponentEnv(envs.make_game("YouShallNotPass-v0"), victim, seed=0)
+        result = train_apmarl(adv_env, tiny_config())
+        assert result.name == "AP-MARL"
+        assert len(result.history) == 2
+
+    def test_imap_multiagent_regularizers(self, rng):
+        victim = ActorCritic(14, 3, hidden_sizes=(8,), rng=rng)
+        for reg in ("sc", "pc", "r", "d"):
+            adv_env = OpponentEnv(envs.make_game("YouShallNotPass-v0"), victim, seed=0)
+            result = train_imap(adv_env, reg, tiny_config(), multi_agent=True)
+            assert len(result.history) == 2, reg
+
+
+class TestBiasReduction:
+    def _trainer(self, adv_env, eta=0.5):
+        from repro.attacks.imap.regularizers import StateCoverageRegularizer
+        config = tiny_config(use_bias_reduction=True, br_eta=eta)
+        return AdversaryTrainer(adv_env, config,
+                                regularizer=StateCoverageRegularizer(config))
+
+    def test_lambda_grows_when_objective_drops(self, adv_env):
+        trainer = self._trainer(adv_env, eta=1.0)
+        trainer._bias_reduction_step(-0.2)   # first estimate: no update
+        assert trainer.tau == 1.0
+        trainer._bias_reduction_step(-0.8)   # J dropped by 0.6 -> lambda += 0.6
+        assert trainer._lambda == pytest.approx(0.6)
+        assert trainer.tau == pytest.approx(1.0 / 1.6)
+
+    def test_lambda_clamped_at_zero(self, adv_env):
+        trainer = self._trainer(adv_env, eta=1.0)
+        trainer._bias_reduction_step(-0.9)
+        trainer._bias_reduction_step(-0.1)   # J improved: lambda would go negative
+        assert trainer._lambda == 0.0
+        assert trainer.tau == 1.0
+
+    def test_eta_scales_update(self, adv_env):
+        trainer = self._trainer(adv_env, eta=0.1)
+        trainer._bias_reduction_step(-0.2)
+        trainer._bias_reduction_step(-0.7)
+        assert trainer._lambda == pytest.approx(0.05)
+
+
+class TestBestCheckpointSelection:
+    def test_best_state_restored(self, adv_env):
+        config = tiny_config(iterations=3, select_best=True)
+        trainer = AdversaryTrainer(adv_env, config)
+        # monkey-ish: force distinct asr per iteration through history
+        result = trainer.train()
+        assert trainer._best_state is not None or all(
+            len(h) for h in result.history)
+
+    def test_select_best_disabled(self, adv_env):
+        config = tiny_config(select_best=False)
+        trainer = AdversaryTrainer(adv_env, config)
+        trainer.train()
+        assert trainer._best_state is None
+
+    def test_standardize(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out = AdversaryTrainer._standardize(x)
+        assert out.mean() == pytest.approx(0.0)
+        assert out.std() == pytest.approx(1.0)
+        constant = AdversaryTrainer._standardize(np.full(4, 2.0))
+        np.testing.assert_allclose(constant, np.zeros(4))

@@ -1,0 +1,34 @@
+"""CLI argument parsing (execution paths are covered by test_experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.what == ["table1"]
+        assert args.scale == "smoke"
+        assert args.seed == 0
+
+    def test_multiple_targets(self):
+        args = build_parser().parse_args(["fig6", "fig7", "--scale", "short"])
+        assert args.what == ["fig6", "fig7"]
+        assert args.scale == "short"
+
+    def test_env_and_attack_filters(self):
+        args = build_parser().parse_args(
+            ["table2", "--envs", "FetchReach-v0", "--attacks", "sarl", "imap-pc"])
+        assert args.envs == ["FetchReach-v0"]
+        assert args.attacks == ["sarl", "imap-pc"]
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "galactic"])

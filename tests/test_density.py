@@ -1,0 +1,132 @@
+"""KNN density estimation and the D/B replay buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.density import KnnDensityEstimator, StateBuffer, UnionStateBuffer, knn_distances
+
+
+def brute_kth_distance(queries, refs, k, exclude_self=False):
+    out = []
+    for q in np.atleast_2d(queries):
+        d = np.sort(np.linalg.norm(refs - q, axis=1))
+        if exclude_self:
+            d = d[1:]
+        out.append(d[min(k, len(d)) - 1])
+    return np.array(out)
+
+
+class TestKnnDistances:
+    def test_matches_brute_force(self, rng):
+        refs = rng.standard_normal((40, 3))
+        queries = rng.standard_normal((10, 3))
+        for k in (1, 3, 7):
+            ours = knn_distances(queries, refs, k=k)
+            expected = brute_kth_distance(queries, refs, k)
+            np.testing.assert_allclose(ours, expected, atol=1e-12)
+
+    def test_exclude_self(self, rng):
+        refs = rng.standard_normal((20, 2))
+        ours = knn_distances(refs, refs, k=1, exclude_self=True)
+        expected = brute_kth_distance(refs, refs, 1, exclude_self=True)
+        np.testing.assert_allclose(ours, expected, atol=1e-12)
+        assert (ours > 0).all()
+
+    def test_k_larger_than_reference_set(self, rng):
+        refs = rng.standard_normal((3, 2))
+        out = knn_distances(rng.standard_normal((5, 2)), refs, k=10)
+        assert out.shape == (5,)
+
+    def test_empty_reference(self):
+        out = knn_distances(np.zeros((4, 2)), np.zeros((0, 2)), k=3)
+        np.testing.assert_array_equal(out, np.ones(4))
+
+    def test_distance_floor(self):
+        refs = np.zeros((5, 2))
+        out = knn_distances(np.zeros((2, 2)), refs, k=2)
+        assert (out > 0).all()
+
+
+class TestKnnDensityEstimator:
+    def test_density_higher_in_cluster(self, rng):
+        cluster = rng.standard_normal((100, 2)) * 0.1
+        outlier = np.array([[10.0, 10.0]])
+        est = KnnDensityEstimator(np.vstack([cluster, outlier]), k=3)
+        d_cluster = est.density(np.zeros((1, 2)))
+        d_far = est.density(np.array([[9.0, 9.0]]))
+        assert d_cluster[0] > d_far[0]
+
+    def test_log_density_monotone_with_density(self, rng):
+        refs = rng.standard_normal((50, 3))
+        est = KnnDensityEstimator(refs, k=4)
+        queries = rng.standard_normal((10, 3))
+        dens = est.density(queries)
+        log_dens = est.log_density(queries)
+        assert (np.argsort(dens) == np.argsort(log_dens)).all()
+
+    def test_empty_estimator(self):
+        est = KnnDensityEstimator(np.zeros((0, 2)), k=3)
+        np.testing.assert_array_equal(est.distance(np.zeros((3, 2))), np.ones(3))
+
+
+class TestStateBuffer:
+    def test_replace_semantics(self, rng):
+        buf = StateBuffer()
+        assert len(buf) == 0
+        buf.replace(rng.standard_normal((10, 2)))
+        assert len(buf) == 10
+        buf.replace(rng.standard_normal((4, 2)))
+        assert len(buf) == 4  # wholesale replacement, not append
+
+    def test_states_are_copied(self):
+        buf = StateBuffer()
+        data = np.ones((3, 2))
+        buf.replace(data)
+        data[:] = 5.0
+        np.testing.assert_array_equal(buf.states, np.ones((3, 2)))
+
+
+class TestUnionStateBuffer:
+    def test_accumulates_until_capacity(self, rng):
+        buf = UnionStateBuffer(capacity=100)
+        buf.extend(rng.standard_normal((30, 2)))
+        buf.extend(rng.standard_normal((30, 2)))
+        assert len(buf) == 60
+        assert buf.total_seen == 60
+
+    def test_capacity_bound(self, rng):
+        buf = UnionStateBuffer(capacity=50)
+        for _ in range(10):
+            buf.extend(rng.standard_normal((20, 2)))
+        assert len(buf) == 50
+        assert buf.total_seen == 200
+
+    def test_reservoir_is_unbiased(self):
+        """Each batch should survive roughly in proportion after overflow."""
+        buf = UnionStateBuffer(capacity=200, seed=0)
+        buf.extend(np.full((400, 1), 1.0))
+        buf.extend(np.full((400, 1), 2.0))
+        fraction_second = (buf.states == 2.0).mean()
+        assert 0.3 < fraction_second < 0.7
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            UnionStateBuffer(capacity=0)
+
+    def test_empty_extend_noop(self):
+        buf = UnionStateBuffer(capacity=10)
+        buf.extend(np.zeros((0, 3)))
+        assert len(buf) == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 5), st.integers(5, 30))
+def test_property_knn_distance_positive_and_finite(k, n):
+    rng = np.random.default_rng(k * 100 + n)
+    refs = rng.standard_normal((n, 3))
+    d = knn_distances(refs, refs, k=k, exclude_self=True)
+    assert np.isfinite(d).all() and (d > 0).all()

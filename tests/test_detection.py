@@ -1,0 +1,55 @@
+"""Active-detection defense: dynamics model + foresight detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.defenses.detection import DynamicsModel, ForesightDetector
+
+
+class TestDynamicsModel:
+    def test_fit_reduces_error(self, rng):
+        model = DynamicsModel(3, 2, hidden=(32,), seed=0)
+        obs = rng.standard_normal((500, 3))
+        actions = rng.uniform(-1, 1, (500, 2))
+        # simple linear dynamics to learn
+        next_obs = obs + 0.1 * np.concatenate([actions, actions[:, :1]], axis=1)
+        before = np.linalg.norm(model.predict(obs, actions) - next_obs, axis=1).mean()
+        model.fit(obs, actions, next_obs, epochs=30, rng=rng)
+        after = np.linalg.norm(model.predict(obs, actions) - next_obs, axis=1).mean()
+        assert after < before * 0.5
+
+    def test_predict_shape(self, rng):
+        model = DynamicsModel(4, 2, seed=0)
+        out = model.predict(rng.standard_normal((7, 4)), rng.uniform(-1, 1, (7, 2)))
+        assert out.shape == (7, 4)
+
+
+class TestForesightDetector:
+    def test_quantile_validated(self, tiny_victim):
+        with pytest.raises(ValueError):
+            ForesightDetector(tiny_victim, quantile=0.3)
+
+    def test_flag_requires_fit(self, tiny_victim, rng):
+        detector = ForesightDetector(tiny_victim, seed=0)
+        with pytest.raises(RuntimeError):
+            detector.flags(np.zeros((1, 11)), np.zeros((1, 3)), np.zeros((1, 11)))
+
+    @pytest.mark.slow
+    def test_detects_large_perturbations(self, tiny_victim):
+        detector = ForesightDetector(tiny_victim, quantile=0.95, seed=0)
+        threshold = detector.fit(envs.make("Hopper-v0"), steps=1500, epochs=10)
+        assert threshold > 0
+
+        class BigFlip:
+            def action(self, obs, rng=None, deterministic=True):
+                return -np.sign(obs)  # full-budget sign flip on every dim
+
+        report = detector.evaluate(lambda: envs.make("Hopper-v0"), BigFlip(),
+                                   epsilon=0.6, episodes=3, seed=1)
+        assert 0.0 <= report.false_positive_rate <= 1.0
+        # a full-budget perturbation on every dim should be well above
+        # the clean false-positive rate
+        assert report.detection_rate > report.false_positive_rate

@@ -1,0 +1,111 @@
+"""DiagGaussian / Categorical: densities, entropy, KL, sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.nn import Categorical, DiagGaussian, Tensor
+
+
+class TestDiagGaussian:
+    def test_log_prob_matches_scipy(self, rng):
+        mean = rng.standard_normal((6, 3))
+        log_std = rng.uniform(-1.0, 0.5, size=3)
+        actions = rng.standard_normal((6, 3))
+        dist = DiagGaussian(mean, log_std)
+        ours = dist.log_prob(actions).data
+        expected = stats.norm.logpdf(actions, loc=mean, scale=np.exp(log_std)).sum(axis=-1)
+        np.testing.assert_allclose(ours, expected, atol=1e-10)
+
+    def test_entropy_matches_scipy(self, rng):
+        log_std = rng.uniform(-1.0, 1.0, size=4)
+        dist = DiagGaussian(np.zeros((2, 4)), log_std)
+        expected = stats.norm.entropy(scale=np.exp(log_std)).sum()
+        np.testing.assert_allclose(dist.entropy().data, [expected, expected], atol=1e-10)
+
+    def test_kl_zero_for_identical(self, rng):
+        mean = rng.standard_normal((5, 2))
+        dist = DiagGaussian(mean, np.zeros(2))
+        np.testing.assert_allclose(dist.kl(DiagGaussian(mean.copy(), np.zeros(2))).data,
+                                   np.zeros(5), atol=1e-12)
+
+    def test_kl_nonnegative_and_asymmetric(self, rng):
+        a = DiagGaussian(rng.standard_normal((8, 3)), rng.uniform(-1, 0, 3))
+        b = DiagGaussian(rng.standard_normal((8, 3)), rng.uniform(-1, 0, 3))
+        kl_ab, kl_ba = a.kl(b).data, b.kl(a).data
+        assert (kl_ab >= 0).all() and (kl_ba >= 0).all()
+        assert not np.allclose(kl_ab, kl_ba)
+
+    def test_kl_closed_form_1d(self):
+        a = DiagGaussian(np.array([[0.0]]), np.array([0.0]))
+        b = DiagGaussian(np.array([[1.0]]), np.array([np.log(2.0)]))
+        # KL(N(0,1) || N(1,4)) = ln2 + (1+1)/8 - 1/2
+        expected = np.log(2.0) + 2.0 / 8.0 - 0.5
+        np.testing.assert_allclose(a.kl(b).data, [expected], atol=1e-12)
+
+    def test_sample_statistics(self, rng):
+        dist = DiagGaussian(np.full((20000, 2), 3.0), np.log(np.array([0.5, 2.0])))
+        samples = dist.sample(rng)
+        np.testing.assert_allclose(samples.mean(axis=0), [3.0, 3.0], atol=0.05)
+        np.testing.assert_allclose(samples.std(axis=0), [0.5, 2.0], atol=0.05)
+
+    def test_mode_is_mean(self, rng):
+        mean = rng.standard_normal((3, 2))
+        np.testing.assert_array_equal(DiagGaussian(mean, np.zeros(2)).mode(), mean)
+
+    def test_log_prob_grad_flows_to_params(self, rng):
+        mean = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        log_std = Tensor(np.zeros(2), requires_grad=True)
+        dist = DiagGaussian(mean, log_std)
+        dist.log_prob(rng.standard_normal((4, 2))).sum().backward()
+        assert mean.grad is not None and log_std.grad is not None
+
+
+class TestCategorical:
+    def test_probs_normalized(self, rng):
+        c = Categorical(rng.standard_normal((6, 5)))
+        np.testing.assert_allclose(c.probs().data.sum(axis=-1), np.ones(6), atol=1e-12)
+
+    def test_log_prob_consistent_with_probs(self, rng):
+        logits = rng.standard_normal((4, 3))
+        c = Categorical(logits)
+        actions = np.array([0, 2, 1, 1])
+        lp = c.log_prob(actions).data
+        p = c.probs().data[np.arange(4), actions]
+        np.testing.assert_allclose(np.exp(lp), p, atol=1e-12)
+
+    def test_entropy_max_for_uniform(self):
+        c = Categorical(np.zeros((1, 4)))
+        np.testing.assert_allclose(c.entropy().data, [np.log(4.0)], atol=1e-12)
+
+    def test_kl_nonnegative(self, rng):
+        a = Categorical(rng.standard_normal((10, 6)))
+        b = Categorical(rng.standard_normal((10, 6)))
+        assert (a.kl(b).data >= -1e-12).all()
+
+    def test_sampling_distribution(self, rng):
+        logits = np.log(np.array([0.7, 0.2, 0.1]))
+        c = Categorical(np.tile(logits, (20000, 1)))
+        samples = c.sample(rng)
+        freq = np.bincount(samples, minlength=3) / 20000
+        np.testing.assert_allclose(freq, [0.7, 0.2, 0.1], atol=0.02)
+
+    def test_mode(self):
+        c = Categorical(np.array([[0.1, 5.0, -1.0], [2.0, 0.0, 0.0]]))
+        np.testing.assert_array_equal(c.mode(), [1, 0])
+
+    def test_single_row_log_prob(self):
+        c = Categorical(np.array([0.0, 1.0, 2.0]))
+        lp = c.log_prob(2)
+        assert lp.data.shape == ()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(-3, 3), st.floats(-1, 1), st.floats(-3, 3), st.floats(-1, 1))
+def test_property_gaussian_kl_nonnegative(m1, ls1, m2, ls2):
+    a = DiagGaussian(np.array([[m1]]), np.array([ls1]))
+    b = DiagGaussian(np.array([[m2]]), np.array([ls2]))
+    assert float(a.kl(b).data[0]) >= -1e-10

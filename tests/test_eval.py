@@ -1,0 +1,127 @@
+"""Evaluation harness, metrics, tables, curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.attacks import RandomAttackPolicy
+from repro.eval import (
+    AttackEvaluation,
+    Curve,
+    CurveSet,
+    bold_min_per_row,
+    bootstrap_ci,
+    evaluate_game,
+    evaluate_single_agent,
+    format_mean_std,
+    mean_std,
+    render_table,
+)
+from repro.rl import ActorCritic
+
+
+class TestMetrics:
+    def test_mean_std(self):
+        m, s = mean_std([1.0, 2.0, 3.0])
+        assert m == pytest.approx(2.0)
+        assert s == pytest.approx(np.std([1, 2, 3]))
+
+    def test_mean_std_empty(self):
+        assert mean_std([]) == (0.0, 0.0)
+
+    def test_bootstrap_ci_contains_mean(self, rng):
+        data = rng.standard_normal(200) + 5.0
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo < data.mean() < hi
+        assert hi - lo < 1.0
+
+    def test_format(self):
+        assert format_mean_std(1.234, 0.567) == "1.23 ± 0.57"
+        assert format_mean_std(1.2, 0.5, digits=0) == "1 ± 0"
+
+
+class TestTables:
+    def test_render_alignment(self):
+        out = render_table(["A", "Long header"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_bold_min(self):
+        marked = bold_min_per_row([3.0, 1.0, 2.0], ["a", "b", "c"])
+        assert marked == ["a", "*b*", "c"]
+
+    def test_bold_min_empty(self):
+        assert bold_min_per_row([], []) == []
+
+
+class TestCurves:
+    def test_curve_accumulates(self):
+        c = Curve("x")
+        c.add(1, 0.5)
+        c.add(2, 0.25)
+        assert c.final == 0.25
+        assert c.best(minimize=True) == 0.25
+        assert c.best(minimize=False) == 0.5
+
+    def test_auc(self):
+        c = Curve("x", x=[0.0, 1.0, 2.0], y=[1.0, 1.0, 1.0])
+        assert c.auc() == pytest.approx(2.0)
+
+    def test_curveset_render(self):
+        cs = CurveSet("fig")
+        for i in range(10):
+            cs.curve("a").add(i, i / 10)
+            cs.curve("b").add(i, 1.0 - i / 10)
+        out = cs.render("asr")
+        assert "fig" in out and "final asr" in out
+
+    def test_curveset_json_roundtrip(self, tmp_path):
+        cs = CurveSet("fig")
+        cs.curve("a").add(1, 0.5)
+        path = cs.to_json(tmp_path / "fig.json")
+        loaded = CurveSet.from_json(path)
+        assert loaded.title == "fig"
+        assert loaded.curves["a"].y == [0.5]
+
+    def test_empty_render(self):
+        assert "(empty)" in CurveSet("nothing").render()
+
+
+class TestHarness:
+    def test_clean_evaluation(self, tiny_victim):
+        ev = evaluate_single_agent(envs.make("Hopper-v0"), tiny_victim, None,
+                                   episodes=5, seed=3)
+        assert len(ev.episode_rewards) == 5
+        assert 0.0 <= ev.asr <= 1.0
+        assert "ASR" in ev.summary()
+
+    def test_random_attack_evaluation(self, tiny_victim):
+        ev = evaluate_single_agent(envs.make("Hopper-v0"), tiny_victim,
+                                   RandomAttackPolicy(11, seed=1), epsilon=0.1,
+                                   episodes=4, seed=3, attack_deterministic=False)
+        assert len(ev.episode_rewards) == 4
+
+    def test_seeded_evaluation_reproducible(self, tiny_victim):
+        e1 = evaluate_single_agent(envs.make("Hopper-v0"), tiny_victim, None,
+                                   episodes=3, seed=5)
+        e2 = evaluate_single_agent(envs.make("Hopper-v0"), tiny_victim, None,
+                                   episodes=3, seed=5)
+        np.testing.assert_allclose(e1.episode_rewards, e2.episode_rewards)
+
+    def test_asr_complementary_to_success(self):
+        ev = AttackEvaluation(episode_rewards=[1.0] * 4,
+                              episode_successes=[True, True, False, False],
+                              episode_lengths=[10] * 4)
+        assert ev.victim_success_rate == 0.5
+        assert ev.asr == 0.5
+
+    def test_game_evaluation(self, rng):
+        victim = ActorCritic(14, 3, hidden_sizes=(8,), rng=rng)
+        adversary = RandomAttackPolicy(3, seed=2)
+        ev = evaluate_game(envs.make_game("YouShallNotPass-v0"), victim, adversary,
+                           episodes=3, seed=1)
+        assert len(ev.episode_rewards) == 3
+        assert all(length <= 200 for length in ev.episode_lengths)

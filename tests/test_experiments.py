@@ -1,0 +1,104 @@
+"""Experiment runners at smoke scale + attack-name parsing + scales."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    br_improvement_count,
+    current_scale,
+    parse_attack_name,
+    render_table3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+SMOKE = SCALES["smoke"]
+
+
+class TestConfig:
+    def test_scales_exist(self):
+        assert {"smoke", "short", "paper"} <= set(SCALES)
+        assert SCALES["short"].attack_iterations > SCALES["smoke"].attack_iterations
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "short")
+        assert current_scale().name == "short"
+        assert current_scale("paper").name == "paper"
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            current_scale("huge")
+
+
+class TestAttackNames:
+    def test_baselines(self):
+        assert parse_attack_name("sarl") == {"family": "sarl"}
+        assert parse_attack_name("random") == {"family": "random"}
+        assert parse_attack_name("apmarl") == {"family": "apmarl"}
+
+    def test_imap_variants(self):
+        spec = parse_attack_name("imap-pc+br")
+        assert spec == {"family": "imap", "regularizer": "pc", "use_br": True}
+        assert parse_attack_name("IMAP-R")["regularizer"] == "r"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            parse_attack_name("imap-zz")
+        with pytest.raises(ValueError):
+            parse_attack_name("fgsm")
+
+
+@pytest.mark.slow
+class TestSmokeRuns:
+    def test_table1_slice(self):
+        result = run_table1(env_ids=["Hopper-v0"], defenses=["ppo"],
+                            attacks=["none", "sarl"], scale=SMOKE, verbose=False)
+        assert len(result.cells) == 2
+        cell = result.cell("Hopper-v0", "ppo", "none")
+        assert cell.mean_reward != 0.0
+        assert "Table 1" in result.render(attacks=["none", "sarl"])
+
+    def test_table2_slice_and_dominance_metric(self):
+        result = run_table2(env_ids=["FetchReach-v0"],
+                            attacks=["none", "sarl", "imap-sc", "imap-pc",
+                                     "imap-r", "imap-d"],
+                            include_br=False, scale=SMOKE, verbose=False)
+        wins, total = result.imap_dominates_sarl_count()
+        assert total == 1 and 0 <= wins <= 1
+        assert "Table 2" in result.render()
+
+    def test_table3_slice(self):
+        result = run_table3(env_ids=["FetchReach-v0"], scale=SMOKE, verbose=False)
+        improved, total = br_improvement_count(result)
+        assert total == 1
+        assert "Table 3" in render_table3(result)
+
+    def test_fig4_slice(self):
+        figures = run_fig4(env_ids=["SparseHopper-v0"], attacks=["sarl", "imap-r"],
+                           scale=SMOKE, verbose=False)
+        figure = figures["SparseHopper-v0"]
+        assert set(figure.curves) == {"SARL", "IMAP-R"}
+        assert len(figure.curves["SARL"].y) == SMOKE.attack_iterations
+
+    def test_fig5_slice(self):
+        out = run_fig5(game_ids=["YouShallNotPass-v0"], attacks=["apmarl"],
+                       scale=SMOKE, verbose=False)
+        data = out["YouShallNotPass-v0"]
+        assert "apmarl" in data["final_asr"]
+        assert 0.0 <= data["final_asr"]["apmarl"] <= 1.0
+
+    def test_fig6_slice(self):
+        out = run_fig6(env_id="FetchReach-v0", etas=[0.1, 1.0], scale=SMOKE,
+                       verbose=False)
+        assert set(out["final_reward"]) == {0.1, 1.0}
+
+    def test_fig7_slice(self):
+        out = run_fig7(xis=[0.0, 1.0], scale=SMOKE, verbose=False)
+        assert set(out["final_asr"]) == {0.0, 1.0}

@@ -1,0 +1,114 @@
+"""Failure injection: wrong shapes, misuse, and corrupted inputs should
+fail loudly (or be handled) rather than silently corrupt results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.attacks import StatePerturbationEnv
+from repro.envs.physics import BodyConfig, LinkChainBody
+from repro.nn import MLP, Adam, Tensor
+from repro.rl import ActorCritic, RolloutBuffer
+
+
+class TestShapeErrors:
+    def test_body_rejects_wrong_action_dim(self):
+        body = LinkChainBody(BodyConfig(n_joints=4))
+        with pytest.raises(ValueError):
+            body.step(np.zeros(3))
+
+    def test_matmul_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            _ = Tensor(np.ones((2, 3))) @ Tensor(np.ones((2, 3)))
+
+    def test_checkpoint_into_wrong_architecture(self, rng):
+        a = ActorCritic(4, 2, hidden_sizes=(8,), rng=rng)
+        b = ActorCritic(4, 2, hidden_sizes=(16,), rng=rng)
+        with pytest.raises((KeyError, ValueError)):
+            b.load_checkpoint_state(a.checkpoint_state())
+
+    def test_buffer_rejects_overflow(self, rng):
+        buf = RolloutBuffer(1, 2, 1)
+        buf.add(np.zeros(2), np.zeros(1), 0.0, 0.0, 0.0)
+        with pytest.raises(RuntimeError):
+            buf.add(np.zeros(2), np.zeros(1), 0.0, 0.0, 0.0)
+
+
+class TestNumericalRobustness:
+    def test_env_observations_stay_finite_under_extreme_actions(self):
+        for env_id in ("Hopper-v0", "Ant-v0", "SparseWalker2d-v0"):
+            env = envs.make(env_id)
+            obs = env.reset(seed=0)
+            for _ in range(100):
+                obs, reward, term, trunc, _ = env.step(
+                    np.full(env.action_space.shape, 1e9))
+                assert np.isfinite(obs).all(), env_id
+                assert np.isfinite(reward), env_id
+                if term or trunc:
+                    obs = env.reset()
+
+    def test_game_stays_finite_under_extreme_actions(self):
+        game = envs.make_game("KickAndDefend-v0")
+        game.reset(seed=0)
+        big = np.full(3, 1e6)
+        for _ in range(50):
+            (ov, oa), (rv, ra), done, _ = game.step(big, -big)
+            assert np.isfinite(ov).all() and np.isfinite(oa).all()
+            assert np.isfinite(rv)
+            if done:
+                game.reset()
+
+    def test_adversary_env_survives_nan_free_with_huge_actions(self, tiny_victim):
+        adv = StatePerturbationEnv(envs.make("Hopper-v0"), tiny_victim, epsilon=0.5)
+        obs = adv.reset(seed=0)
+        for _ in range(30):
+            obs, r, term, trunc, _ = adv.step(np.full(11, 1e12))
+            assert np.isfinite(obs).all() and np.isfinite(r)
+            if term or trunc:
+                obs = adv.reset()
+
+    def test_normalizer_handles_constant_inputs(self):
+        from repro.rl import ObservationNormalizer
+        norm = ObservationNormalizer((2,))
+        for _ in range(50):
+            out = norm(np.array([3.0, 3.0]))
+        assert np.isfinite(out).all()
+
+    def test_adam_survives_zero_gradients(self, rng):
+        net = MLP(2, (4,), 1, rng=rng)
+        opt = Adam(net.parameters(), lr=0.1)
+        loss = net(np.zeros((3, 2))).sum() * 0.0
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert all(np.isfinite(p.data).all() for p in net.parameters())
+
+    def test_gaussian_log_prob_extreme_actions_finite(self, rng):
+        from repro.nn import DiagGaussian
+        dist = DiagGaussian(np.zeros((2, 3)), np.full(3, -2.0))
+        lp = dist.log_prob(np.full((2, 3), 50.0))
+        assert np.isfinite(lp.data).all()
+
+
+class TestMisuse:
+    def test_sparse_env_reset_required_semantics(self):
+        env = envs.make("SparseHopper-v0")
+        env.reset(seed=0)
+        env.step(np.zeros(3))  # fine after reset
+
+    def test_unwrapped_reaches_base_through_two_layers(self):
+        env = envs.make("SparseHopper-v0")
+        from repro.envs.sparse import SparseLocomotionEnv
+        assert isinstance(env.unwrapped, SparseLocomotionEnv)
+
+    def test_attack_config_rejects_unknown_override(self):
+        from repro.experiments import SCALES, attack_config_for
+        with pytest.raises(TypeError):
+            attack_config_for(SCALES["smoke"], seed=0, not_a_field=1)
+
+    def test_victim_action_works_without_explicit_rng_state(self, tiny_victim):
+        action = tiny_victim.action(np.zeros(11), np.random.default_rng(0),
+                                    deterministic=True)
+        assert action.shape == (3,)

@@ -1,0 +1,103 @@
+"""End-to-end integration: victim training -> attack training -> evaluation,
+at tiny budgets.  These exercise every layer of the stack together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.attacks import (
+    AttackConfig,
+    OpponentEnv,
+    StatePerturbationEnv,
+    default_epsilon,
+    train_apmarl,
+    train_imap,
+    train_sarl,
+)
+from repro.defenses import DefenseTrainConfig, get_defense
+from repro.eval import evaluate_game, evaluate_single_agent
+from repro.rl import ActorCritic
+
+TINY_ATTACK = AttackConfig(iterations=2, steps_per_iteration=192, hidden_sizes=(8,), seed=0)
+
+
+@pytest.mark.slow
+class TestSingleAgentPipeline:
+    def test_full_chain_every_regularizer(self, tiny_victim):
+        eps = default_epsilon("Hopper-v0")
+        for reg in ("sc", "pc", "r", "d"):
+            adv_env = StatePerturbationEnv(envs.make("Hopper-v0"), tiny_victim,
+                                           epsilon=eps)
+            result = train_imap(adv_env, reg, TINY_ATTACK)
+            ev = evaluate_single_agent(envs.make("Hopper-v0"), tiny_victim,
+                                       result.policy, epsilon=eps, episodes=3)
+            assert len(ev.episode_rewards) == 3, reg
+            assert np.isfinite(ev.mean_reward), reg
+
+    def test_full_chain_with_br(self, tiny_victim):
+        eps = default_epsilon("Hopper-v0")
+        adv_env = StatePerturbationEnv(envs.make("Hopper-v0"), tiny_victim, epsilon=eps)
+        result = train_imap(adv_env, "pc", TINY_ATTACK, use_bias_reduction=True)
+        assert result.name == "IMAP-PC+BR"
+        taus = [h["tau"] for h in result.history]
+        assert all(0.0 < t <= 1.0 for t in taus)
+
+    def test_sarl_chain_on_sparse_task(self):
+        cfg = DefenseTrainConfig(iterations=1, steps_per_iteration=128,
+                                 hidden_sizes=(8,), seed=0)
+        victim = get_defense("ppo")(lambda: envs.make("SparseHopper-v0"), cfg)
+        adv_env = StatePerturbationEnv(envs.make("SparseHopper-v0"), victim,
+                                       epsilon=0.5)
+        result = train_sarl(adv_env, TINY_ATTACK)
+        ev = evaluate_single_agent(envs.make("SparseHopper-v0"), victim,
+                                   result.policy, epsilon=0.5, episodes=3)
+        assert all(r in (-0.1, 0.0, 1.0) for r in np.round(ev.episode_rewards, 6))
+
+    def test_defended_victim_attackable(self):
+        cfg = DefenseTrainConfig(iterations=1, steps_per_iteration=128,
+                                 hidden_sizes=(8,), seed=0, epsilon=0.3)
+        victim = get_defense("sa")(lambda: envs.make("Hopper-v0"), cfg)
+        adv_env = StatePerturbationEnv(envs.make("Hopper-v0"), victim, epsilon=0.6)
+        result = train_imap(adv_env, "r", TINY_ATTACK)
+        assert len(result.history) == 2
+
+    def test_navigation_and_manipulation_pipelines(self):
+        for env_id in ("AntUMaze-v0", "FetchReach-v0"):
+            cfg = DefenseTrainConfig(iterations=1, steps_per_iteration=128,
+                                     hidden_sizes=(8,), seed=0)
+            from repro.zoo import training_env_factory
+            from repro.rl import TrainConfig, train_ppo
+            res = train_ppo(training_env_factory(env_id)(),
+                            TrainConfig(iterations=1, steps_per_iteration=128,
+                                        hidden_sizes=(8,), seed=0))
+            victim = res.policy
+            victim.freeze_normalizer()
+            adv_env = StatePerturbationEnv(envs.make(env_id), victim, epsilon=0.5)
+            result = train_imap(adv_env, "sc", TINY_ATTACK)
+            ev = evaluate_single_agent(envs.make(env_id), victim, result.policy,
+                                       epsilon=0.5, episodes=2)
+            assert np.isfinite(ev.mean_reward), env_id
+
+
+@pytest.mark.slow
+class TestMultiAgentPipeline:
+    def test_apmarl_and_imap_chains(self, rng):
+        victim = ActorCritic(14, 3, hidden_sizes=(8,), rng=rng)
+        for trainer, kwargs in ((train_apmarl, {}),
+                                (lambda e, c, **kw: train_imap(e, "pc", c, multi_agent=True,
+                                                               use_bias_reduction=True), {})):
+            adv_env = OpponentEnv(envs.make_game("YouShallNotPass-v0"), victim, seed=0)
+            result = trainer(adv_env, TINY_ATTACK, **kwargs)
+            ev = evaluate_game(envs.make_game("YouShallNotPass-v0"), victim,
+                               result.policy, episodes=3, seed=1)
+            assert 0.0 <= ev.asr <= 1.0
+
+    def test_kickanddefend_chain(self, rng):
+        victim = ActorCritic(17, 3, hidden_sizes=(8,), rng=rng)
+        adv_env = OpponentEnv(envs.make_game("KickAndDefend-v0"), victim, seed=0)
+        result = train_imap(adv_env, "sc", TINY_ATTACK, multi_agent=True)
+        ev = evaluate_game(envs.make_game("KickAndDefend-v0"), victim,
+                           result.policy, episodes=3, seed=1)
+        assert 0.0 <= ev.asr <= 1.0

@@ -1,0 +1,104 @@
+"""Cross-layer invariants tying the threat model, envs, and harness together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import envs
+from repro.attacks import StatePerturbationEnv, default_epsilon
+from repro.eval import evaluate_single_agent
+
+
+class TestObsLayoutContracts:
+    """The scripted opponents rely on fixed observation layouts."""
+
+    def test_ysnp_delta_slice(self):
+        game = envs.make_game("YouShallNotPass-v0")
+        _, oa = game.reset(seed=0)
+        expected = game.runner.position - game.blocker.position
+        np.testing.assert_allclose(oa[12:14], expected)
+
+    def test_kad_ball_slice(self):
+        game = envs.make_game("KickAndDefend-v0")
+        _, oa = game.reset(seed=0)
+        np.testing.assert_allclose(oa[12:14], game.ball_position)
+        np.testing.assert_allclose(oa[1], game.goalie.position[1])
+
+    def test_locomotion_core_prefix(self):
+        env = envs.make("Hopper-v0")
+        obs = env.reset(seed=0)
+        body = env.unwrapped.body
+        np.testing.assert_allclose(obs[: body.core_dim], body.core_state())
+
+
+class TestSurrogateRewardContract:
+    """The adversary may only see 1(victim succeeds): check it end to end."""
+
+    def test_adversary_reward_matches_success_flag(self, tiny_victim, rng):
+        adv = StatePerturbationEnv(envs.make("SparseHopper-v0"), tiny_victim,
+                                   epsilon=0.4)
+        adv.seed(3)
+        obs = adv.reset()
+        for _ in range(100):
+            obs, reward, term, trunc, info = adv.step(rng.uniform(-1, 1, 11))
+            assert reward == (-1.0 if info["success"] else 0.0)
+            if term or trunc:
+                obs = adv.reset()
+
+    def test_victim_reward_not_leaked_in_observation(self, tiny_victim, rng):
+        """The adversary's observation must not contain the private reward."""
+        adv = StatePerturbationEnv(envs.make("Hopper-v0"), tiny_victim, epsilon=0.4)
+        adv.seed(1)
+        obs = adv.reset()
+        assert obs.shape == tiny_victim.normalize(envs.make("Hopper-v0").reset(seed=1)).shape
+
+
+class TestEvaluationConsistency:
+    def test_clean_eval_equals_zero_epsilon_attack(self, tiny_victim):
+        """Evaluating with a zero-budget attack must match the clean eval."""
+
+        class Zero:
+            def action(self, obs, rng=None, deterministic=True):
+                return np.zeros_like(obs)
+
+        clean = evaluate_single_agent(envs.make("Hopper-v0"), tiny_victim, None,
+                                      episodes=3, seed=11)
+        zero = evaluate_single_agent(envs.make("Hopper-v0"), tiny_victim, Zero(),
+                                     epsilon=0.0, episodes=3, seed=11)
+        np.testing.assert_allclose(sorted(clean.episode_rewards),
+                                   sorted(zero.episode_rewards), rtol=1e-9)
+
+    def test_larger_epsilon_never_reduces_attack_power_of_flip(self, tiny_victim):
+        """ε-monotonicity sanity for a fixed scripted attack (statistical)."""
+
+        class Flip:
+            def action(self, obs, rng=None, deterministic=True):
+                return -np.sign(obs)
+
+        r_small = evaluate_single_agent(envs.make("Hopper-v0"), tiny_victim, Flip(),
+                                        epsilon=0.05, episodes=5, seed=2).mean_reward
+        r_big = evaluate_single_agent(envs.make("Hopper-v0"), tiny_victim, Flip(),
+                                      epsilon=1.5, episodes=5, seed=2).mean_reward
+        assert r_big <= r_small + 60.0  # big budget shouldn't help the victim
+
+
+class TestEpsilonBudgets:
+    @pytest.mark.parametrize("env_id", envs.DENSE_TASKS + envs.SPARSE_TASKS)
+    def test_budget_positive_for_every_task(self, env_id):
+        assert default_epsilon(env_id) > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_env_seeding_is_deterministic(seed):
+    a, b = envs.make("SparseAnt-v0"), envs.make("SparseAnt-v0")
+    oa, ob = a.reset(seed=seed), b.reset(seed=seed)
+    np.testing.assert_array_equal(oa, ob)
+    act = np.linspace(-1, 1, 8)
+    for _ in range(5):
+        ra, rb = a.step(act), b.step(act)
+        np.testing.assert_array_equal(ra[0], rb[0])
+        assert ra[1] == rb[1] and ra[2] == rb[2]

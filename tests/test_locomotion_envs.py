@@ -1,0 +1,162 @@
+"""Dense and sparse locomotion environment semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.envs.locomotion import LOCOMOTION_CONFIGS, LocomotionEnv
+from repro.envs.sparse import SPARSE_FAILURE_PENALTY, SPARSE_SUCCESS_REWARD
+
+
+def run_forward_policy(env, steps=200, u=0.33, seed=0):
+    """Drive with symmetric torque + simple pitch feedback; return history."""
+    obs = env.reset(seed=seed)
+    body = env.unwrapped.body if hasattr(env.unwrapped, "body") else env.unwrapped._inner.body
+    inner_cfg = (env.unwrapped.config if hasattr(env.unwrapped, "config")
+                 else env.unwrapped._inner.config)
+    w = body._w
+    direction = w / float(w @ w)
+    infos = []
+    for _ in range(steps):
+        need = -(6.0 * body.pitch + 2.0 * body.pitch_dot
+                 + inner_cfg.body.speed_coupling * body.v * body.pitch)
+        a = np.clip(u + direction * need / inner_cfg.body.imbalance_gain, -1, 1)
+        obs, reward, term, trunc, info = env.step(a)
+        infos.append((reward, term, trunc, info))
+        if term or trunc:
+            break
+    return infos
+
+
+class TestDenseLocomotion:
+    def test_success_fires_once(self):
+        env = envs.make("Hopper-v0")
+        infos = run_forward_policy(env)
+        successes = [i[3]["success"] for i in infos]
+        assert sum(successes) == 1
+        # success at the crossing step
+        idx = successes.index(True)
+        assert infos[idx][3]["x_position"] >= LOCOMOTION_CONFIGS["Hopper"].success_distance
+
+    def test_reward_contains_velocity_and_alive(self):
+        env = envs.make("Hopper-v0")
+        env.reset(seed=1)
+        _, reward, _, _, info = env.step(np.zeros(3))
+        # v ~ 0, action 0: reward ~ alive bonus
+        assert reward == pytest.approx(1.0, abs=0.2)
+
+    def test_ctrl_cost_reduces_reward(self):
+        env1, env2 = envs.make("Hopper-v0"), envs.make("Hopper-v0")
+        env1.reset(seed=3)
+        env2.reset(seed=3)
+        r_zero = env1.step(np.zeros(3))[1]
+        r_full = env2.step(np.array([1.0, -1.0, 1.0]))[1]
+        cfg = LOCOMOTION_CONFIGS["Hopper"]
+        assert r_full < r_zero + 1.0  # ctrl cost bites
+        assert cfg.ctrl_cost_weight > 0
+
+    def test_unhealthy_terminates(self):
+        env = envs.make("Hopper-v0")
+        env.reset(seed=0)
+        env.unwrapped.body.pitch = 10.0
+        _, _, terminated, _, info = env.step(np.zeros(3))
+        assert terminated and not info["healthy"]
+
+    def test_halfcheetah_never_terminates(self):
+        env = envs.make("HalfCheetah-v0")
+        env.reset(seed=0)
+        env.unwrapped.body.pitch = 10.0
+        _, _, terminated, _, _ = env.step(np.zeros(6))
+        assert not terminated
+
+    def test_padding_deterministic_across_instances(self):
+        a, b = envs.make("Ant-v0"), envs.make("Ant-v0")
+        oa, ob = a.reset(seed=5), b.reset(seed=5)
+        np.testing.assert_array_equal(oa, ob)
+
+    def test_padding_depends_on_core_state(self):
+        env = envs.make("Ant-v0")
+        o1 = env.reset(seed=5)
+        o2, *_ = env.step(np.ones(8))
+        assert not np.allclose(o1[20:], o2[20:])  # contact-like pad moved
+
+    def test_obs_dim_smaller_than_core_rejected(self):
+        from dataclasses import replace
+        cfg = replace(LOCOMOTION_CONFIGS["Hopper"], obs_dim=3)
+        with pytest.raises(ValueError):
+            LocomotionEnv(cfg)
+
+
+class TestStandup:
+    def test_starts_fallen(self):
+        env = envs.make("HumanoidStandup-v0")
+        env.reset(seed=0)
+        assert abs(env.unwrapped.body.pitch) > 0.5
+
+    def test_standup_success_via_height(self):
+        env = envs.make("HumanoidStandup-v0")
+        env.reset(seed=0)
+        env.unwrapped.body.pitch = 0.0
+        env.unwrapped.body._update_height()
+        _, _, _, _, info = env.step(np.zeros(17))
+        assert info["success"]
+
+    def test_reward_tracks_height_change(self):
+        env = envs.make("HumanoidStandup-v0")
+        env.reset(seed=0)
+        body = env.unwrapped.body
+        direction = body._w / float(body._w @ body._w)
+        # push pitch toward zero -> z rises -> positive reward on average
+        rewards = []
+        for _ in range(30):
+            need = -(6.0 * body.pitch + 2.0 * body.pitch_dot + 2.0 * np.sin(body.pitch))
+            a = np.clip(direction * need / 2.5, -1, 1)
+            _, r, term, trunc, _ = env.step(a)
+            rewards.append(r)
+            if term or trunc:
+                break
+        assert sum(rewards) > 0
+
+
+class TestSparseLocomotion:
+    def test_sparse_success_reward_and_termination(self):
+        env = envs.make("SparseHopper-v0")
+        infos = run_forward_policy(env, steps=200)
+        rewards = [i[0] for i in infos]
+        assert rewards[-1] == SPARSE_SUCCESS_REWARD
+        assert infos[-1][1]  # terminated on success
+        assert all(r == 0.0 for r in rewards[:-1])
+
+    def test_sparse_fall_penalty(self):
+        env = envs.make("SparseHopper-v0")
+        env.reset(seed=0)
+        env.unwrapped._inner.body.pitch = 10.0
+        _, reward, terminated, _, _ = env.step(np.zeros(3))
+        assert terminated and reward == SPARSE_FAILURE_PENALTY
+
+    def test_sparse_timeout_reward_zero(self):
+        env = envs.make("SparseHopper-v0")
+        env.reset(seed=0)
+        total, done = 0.0, False
+        while not done:
+            _, r, term, trunc, _ = env.step(np.zeros(3))
+            total += r
+            done = term or trunc
+        assert total == 0.0
+
+    def test_sparse_goal_further_than_dense(self):
+        dense = LOCOMOTION_CONFIGS["Hopper"].success_distance
+        sparse = envs.make("SparseHopper-v0").unwrapped.config.success_distance
+        assert sparse > dense
+
+    def test_sparse_obs_space_matches_dense(self):
+        assert (envs.make("SparseAnt-v0").observation_space
+                == envs.make("Ant-v0").observation_space)
+
+    def test_sparse_seeding_reproducible(self):
+        a, b = envs.make("SparseWalker2d-v0"), envs.make("SparseWalker2d-v0")
+        np.testing.assert_array_equal(a.reset(seed=3), b.reset(seed=3))
+        act = np.full(6, 0.2)
+        np.testing.assert_array_equal(a.step(act)[0], b.step(act)[0])

@@ -1,0 +1,120 @@
+"""FetchReach proxy: kinematics, success, shaping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envs.manipulation import FetchReachEnv
+
+
+class TestKinematics:
+    def test_straight_arm(self):
+        env = FetchReachEnv()
+        ee = env.end_effector(np.zeros(3))
+        np.testing.assert_allclose(ee, [sum(env.link_lengths), 0.0], atol=1e-12)
+
+    def test_folded_arm(self):
+        env = FetchReachEnv()
+        ee = env.end_effector(np.array([np.pi / 2, 0.0, 0.0]))
+        np.testing.assert_allclose(ee, [0.0, sum(env.link_lengths)], atol=1e-12)
+
+    def test_reach_radius_bound(self, rng):
+        env = FetchReachEnv()
+        for _ in range(50):
+            q = rng.uniform(-np.pi, np.pi, 3)
+            assert np.linalg.norm(env.end_effector(q)) <= sum(env.link_lengths) + 1e-9
+
+
+class TestTask:
+    def test_goal_in_reachable_annulus(self, rng):
+        env = FetchReachEnv()
+        reach = sum(env.link_lengths)
+        for seed in range(30):
+            env.reset(seed=seed)
+            r = np.linalg.norm(env.goal)
+            assert 0.3 * reach <= r <= 0.95 * reach
+
+    def test_success_and_termination(self):
+        env = FetchReachEnv()
+        env.reset(seed=0)
+        # solve with a crude proportional controller in joint space
+        done, success = False, False
+        for _ in range(200):
+            ee = env.end_effector()
+            err = env.goal - ee
+            # jacobian-transpose-ish control
+            angles = np.cumsum(env.q)
+            jac = np.zeros((2, 3))
+            for j in range(3):
+                dx = -np.sum([env.link_lengths[k] * np.sin(angles[k]) for k in range(j, 3)])
+                dy = np.sum([env.link_lengths[k] * np.cos(angles[k]) for k in range(j, 3)])
+                jac[:, j] = [dx, dy]
+            a = np.clip(5.0 * jac.T @ err, -1, 1)
+            _, reward, term, trunc, info = env.step(a)
+            if term:
+                success = info["success"]
+                assert reward == 1.0
+                done = True
+                break
+            if trunc:
+                done = True
+                break
+        assert done and success
+
+    def test_timeout_penalty(self):
+        env = FetchReachEnv()
+        env.reset(seed=1)
+        total = 0.0
+        for _ in range(env.max_steps):
+            _, r, term, trunc, _ = env.step(np.zeros(3))
+            total += r
+            if term or trunc:
+                break
+        assert trunc and total == pytest.approx(env.failure_penalty)
+
+    def test_observation_layout(self):
+        env = FetchReachEnv()
+        obs = env.reset(seed=2)
+        assert obs.shape == (10,)
+        np.testing.assert_array_equal(obs[:3], env.q)
+        np.testing.assert_array_equal(obs[6:8], env.end_effector())
+        np.testing.assert_array_equal(obs[8:10], env.goal)
+
+    def test_joint_limits(self):
+        env = FetchReachEnv()
+        env.reset(seed=0)
+        for _ in range(100):
+            env.step(np.ones(3))
+        assert (np.abs(env.q) <= np.pi + 1e-9).all()
+
+    def test_shaped_reward_positive_when_approaching(self):
+        env = FetchReachEnv(shaped=True)
+        env.reset(seed=3)
+        ee = env.end_effector()
+        err = env.goal - ee
+        angles = np.cumsum(env.q)
+        jac = np.zeros((2, 3))
+        for j in range(3):
+            jac[:, j] = [
+                -np.sum([env.link_lengths[k] * np.sin(angles[k]) for k in range(j, 3)]),
+                np.sum([env.link_lengths[k] * np.cos(angles[k]) for k in range(j, 3)]),
+            ]
+        a = np.clip(5.0 * jac.T @ err, -1, 1)
+        _, reward, _, _, _ = env.step(a)
+        assert reward > 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 1000))
+def test_property_fetchreach_episode_always_ends(seed):
+    env = FetchReachEnv()
+    env.reset(seed=seed)
+    rng = np.random.default_rng(seed)
+    for t in range(env.max_steps + 1):
+        _, _, term, trunc, _ = env.step(rng.uniform(-1, 1, 3))
+        if term or trunc:
+            break
+    assert term or trunc

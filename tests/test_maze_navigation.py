@@ -1,0 +1,144 @@
+"""Maze geometry and navigation environment tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import envs
+from repro.envs.maze import Maze, Rect, four_rooms, u_maze
+from repro.envs.navigation import Ant4RoomsEnv, AntUMazeEnv
+
+
+class TestRect:
+    def test_contains(self):
+        r = Rect(0, 1, 0, 1)
+        assert r.contains(np.array([0.5, 0.5]))
+        assert not r.contains(np.array([1.5, 0.5]))
+        assert r.contains(np.array([1.1, 0.5]), margin=0.2)
+
+
+class TestMaze:
+    def test_bounds_collision(self):
+        maze = Maze(Rect(-1, 1, -1, 1), [])
+        assert maze.collides(np.array([2.0, 0.0]))
+        assert not maze.collides(np.array([0.0, 0.0]))
+        assert maze.collides(np.array([0.95, 0.0]), radius=0.1)
+
+    def test_wall_collision(self):
+        maze = Maze(Rect(-2, 2, -2, 2), [Rect(-0.1, 0.1, -2, 0)])
+        assert maze.collides(np.array([0.0, -1.0]))
+        assert not maze.collides(np.array([0.0, 1.0]))
+
+    def test_resolve_move_slides_along_wall(self):
+        maze = Maze(Rect(-2, 2, -2, 2), [Rect(0.5, 1.0, -2, 2)])
+        pos = np.array([0.3, 0.0])
+        new, blocked = maze.resolve_move(pos, np.array([0.5, 0.3]))
+        assert blocked[0] and not blocked[1]
+        assert new[0] == pytest.approx(0.3)       # x blocked
+        assert new[1] == pytest.approx(0.3)       # y slides
+
+    def test_resolve_move_free(self):
+        maze = Maze(Rect(-2, 2, -2, 2), [])
+        new, blocked = maze.resolve_move(np.array([0.0, 0.0]), np.array([0.5, -0.5]))
+        assert not blocked.any()
+        np.testing.assert_allclose(new, [0.5, -0.5])
+
+    def test_raycast_hits_wall(self):
+        maze = Maze(Rect(-5, 5, -5, 5), [Rect(1.0, 1.5, -5, 5)])
+        d = maze.raycast(np.zeros(2), np.array([0.0]), max_range=4.0, step=0.05)
+        assert 0.9 <= d[0] <= 1.1
+
+    def test_raycast_max_range(self):
+        maze = Maze(Rect(-50, 50, -50, 50), [])
+        d = maze.raycast(np.zeros(2), np.array([0.0, np.pi / 2]), max_range=3.0)
+        np.testing.assert_array_equal(d, [3.0, 3.0])
+
+
+class TestLayouts:
+    def test_u_maze_blocks_direct_path(self):
+        maze = u_maze()
+        # straight line from start arm to goal arm passes through the tongue
+        assert maze.collides(np.array([-2.2, 0.0]))
+        # the right corridor is open
+        assert not maze.collides(np.array([2.0, 0.0]))
+
+    def test_four_rooms_doors_open(self):
+        maze = four_rooms(size=3.0, door=0.9)
+        assert not maze.collides(np.array([0.0, -1.5]))   # door
+        assert not maze.collides(np.array([1.5, 0.0]))    # door
+        assert maze.collides(np.array([0.0, 0.0]))        # wall junction
+        assert maze.collides(np.array([0.0, -2.8]))       # wall
+
+
+class TestNavigationEnvs:
+    @pytest.mark.parametrize("cls", [AntUMazeEnv, Ant4RoomsEnv])
+    def test_reset_and_step(self, cls, rng):
+        env = cls()
+        obs = env.reset(seed=0)
+        assert obs.shape == env.observation_space.shape
+        obs2, r, term, trunc, info = env.step(env.action_space.sample(rng))
+        assert r == 0.0 and not term
+        assert "distance_to_goal" in info
+
+    def test_goal_reachable_flag(self):
+        env = AntUMazeEnv()
+        env.reset(seed=0)
+        env.position = env.goal.copy()
+        _, reward, terminated, _, info = env.step(np.zeros(8))
+        assert info["success"] and terminated and reward == 1.0
+
+    def test_timeout_truncates(self):
+        env = AntUMazeEnv()
+        env.reset(seed=0)
+        for _ in range(env.max_steps):
+            _, _, term, trunc, _ = env.step(np.zeros(8))
+        assert trunc and not term
+
+    def test_walls_contain_agent(self, rng):
+        env = Ant4RoomsEnv()
+        env.reset(seed=1)
+        for _ in range(100):
+            env.step(rng.uniform(-1, 1, 8))
+            assert not env.maze.collides(env.position, radius=env.radius * 0.9)
+
+    def test_shaped_rewards_follow_waypoints(self):
+        env = AntUMazeEnv(shaped=True)
+        env.reset(seed=0)
+        # teleport toward first waypoint: shaping should be positive
+        start_d = env._prev_distance
+        env.position = env.position + 0.9 * (env.waypoints[0] - env.position)
+        _, reward, _, _, _ = env.step(np.zeros(8))
+        assert reward > 0.0
+        assert env._prev_distance < start_d
+
+    def test_waypoint_advances(self):
+        env = AntUMazeEnv(shaped=True)
+        env.reset(seed=0)
+        env.position = env.waypoints[0].copy()
+        env.step(np.zeros(8))
+        assert env._wp_index == 1
+
+    def test_sparse_default_has_no_shaping(self):
+        env = AntUMazeEnv()
+        env.reset(seed=0)
+        env.position = env.position + np.array([0.3, 0.0])
+        _, reward, _, _, _ = env.step(np.zeros(8))
+        assert reward == 0.0
+
+    def test_force_map_fixed(self):
+        a, b = AntUMazeEnv(), AntUMazeEnv()
+        np.testing.assert_array_equal(a._force_map, b._force_map)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 500))
+def test_property_navigation_obs_finite(seed):
+    env = Ant4RoomsEnv()
+    obs = env.reset(seed=seed)
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        obs, *_ = env.step(rng.uniform(-1, 1, 8))
+    assert np.isfinite(obs).all()

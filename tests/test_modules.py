@@ -1,0 +1,173 @@
+"""Module container, Linear/MLP layers, initialization, optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import MLP, Adam, Linear, Module, Parameter, SGD, Tensor, clip_grad_norm
+from repro.nn import functional as F
+from repro.nn import init
+
+
+class TestInit:
+    def test_orthogonal_square(self, rng):
+        m = init.orthogonal((8, 8), rng=rng)
+        np.testing.assert_allclose(m @ m.T, np.eye(8), atol=1e-10)
+
+    def test_orthogonal_gain(self, rng):
+        m = init.orthogonal((6, 6), gain=3.0, rng=rng)
+        np.testing.assert_allclose(m @ m.T, 9.0 * np.eye(6), atol=1e-9)
+
+    def test_orthogonal_rectangular(self, rng):
+        tall = init.orthogonal((10, 4), rng=rng)
+        np.testing.assert_allclose(tall.T @ tall, np.eye(4), atol=1e-10)
+        wide = init.orthogonal((4, 10), rng=rng)
+        np.testing.assert_allclose(wide @ wide.T, np.eye(4), atol=1e-10)
+
+    def test_xavier_bounds(self, rng):
+        m = init.xavier_uniform((20, 30), rng=rng)
+        limit = np.sqrt(6.0 / 50)
+        assert np.abs(m).max() <= limit
+
+
+class TestModuleContainer:
+    def test_named_parameters_nested(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(2))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.b = Parameter(np.zeros(3))
+
+        names = dict(Outer().named_parameters())
+        assert set(names) == {"inner.w", "b"}
+
+    def test_state_dict_roundtrip(self, rng):
+        a = MLP(4, (8,), 2, rng=rng)
+        b = MLP(4, (8,), 2, rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = rng.standard_normal((5, 4))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_load_state_dict_rejects_mismatch(self, rng):
+        a = MLP(4, (8,), 2, rng=rng)
+        state = a.state_dict()
+        state.pop("output.bias")
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self, rng):
+        a = MLP(4, (8,), 2, rng=rng)
+        state = a.state_dict()
+        state["output.bias"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_zero_grad(self, rng):
+        mlp = MLP(3, (4,), 1, rng=rng)
+        F.mse_loss(mlp(rng.standard_normal((4, 3))), np.zeros((4, 1))).backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_num_parameters(self, rng):
+        mlp = MLP(3, (8,), 2, rng=rng)
+        assert mlp.num_parameters() == 3 * 8 + 8 + 8 * 2 + 2
+
+
+class TestLinearAndMLP:
+    def test_linear_shapes(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        assert layer(Tensor(rng.standard_normal((7, 5)))).shape == (7, 3)
+        assert layer(Tensor(rng.standard_normal(5))).shape == (3,)
+
+    def test_mlp_output_gain_small(self, rng):
+        mlp = MLP(4, (16, 16), 2, output_gain=0.01, rng=rng)
+        out = mlp(rng.standard_normal((10, 4)))
+        assert np.abs(out.data).max() < 0.5
+
+    def test_mlp_activations(self, rng):
+        for act in ("tanh", "relu", "sigmoid", "identity"):
+            mlp = MLP(3, (4,), 2, hidden_activation=act, rng=rng)
+            assert mlp(rng.standard_normal((2, 3))).shape == (2, 2)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP(3, (4,), 2, hidden_activation="gelu-ish")
+
+    def test_gradients_reach_all_parameters(self, rng):
+        mlp = MLP(3, (6, 6), 2, rng=rng)
+        mlp(rng.standard_normal((5, 3))).sum().backward()
+        for name, p in mlp.named_parameters():
+            assert p.grad is not None, name
+
+
+class TestOptimizers:
+    def test_adam_minimizes_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            ((p - Tensor(np.array([1.0, 2.0]))) ** 2).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, 2.0], atol=1e-3)
+
+    def test_sgd_momentum_minimizes(self):
+        p = Parameter(np.array([4.0]))
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(250):
+            opt.zero_grad()
+            (p**2).sum().backward()
+            opt.step()
+        assert abs(float(p.data[0])) < 1e-2
+
+    def test_optimizer_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        total = clip_grad_norm([p], max_norm=1.0)
+        assert total == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_grad_norm_noop_below(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=5.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+    def test_adam_skips_none_grads(self):
+        p1, p2 = Parameter(np.ones(2)), Parameter(np.ones(2))
+        p1.grad = np.ones(2)
+        opt = Adam([p1, p2], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(p2.data, np.ones(2))
+        assert not np.allclose(p1.data, np.ones(2))
+
+
+class TestSerialization:
+    def test_save_load_module(self, tmp_path, rng):
+        mlp = MLP(3, (4,), 2, rng=rng)
+        path = tmp_path / "ckpt.npz"
+        nn.save_module(mlp, path, metadata={"tag": "test", "n": 3})
+        fresh = MLP(3, (4,), 2, rng=np.random.default_rng(4))
+        meta = nn.load_module(fresh, path)
+        assert meta == {"tag": "test", "n": 3}
+        x = rng.standard_normal((2, 3))
+        np.testing.assert_allclose(mlp(x).data, fresh(x).data)
+
+    def test_load_state_returns_arrays(self, tmp_path, rng):
+        mlp = MLP(2, (3,), 1, rng=rng)
+        path = tmp_path / "x.npz"
+        nn.save_module(mlp, path)
+        state, meta = nn.load_state(path)
+        assert meta == {}
+        assert set(state) == set(mlp.state_dict())

@@ -1,0 +1,265 @@
+"""Two-player games: bodies, contact, zero-sum outcomes, win conditions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.envs.multiagent import (
+    KickAndDefendEnv,
+    PlanarBody,
+    YouShallNotPassEnv,
+    resolve_contact,
+)
+
+BOUNDS = (-6.0, 6.0, -3.0, 3.0)
+
+
+class TestPlanarBody:
+    def test_reset_state(self):
+        body = PlanarBody()
+        body.reset(np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(body.position, [1.0, 2.0])
+        assert body.balance == 1.0 and not body.fallen
+
+    def test_force_moves_body(self):
+        body = PlanarBody()
+        body.reset(np.zeros(2))
+        for _ in range(20):
+            body.apply_action(np.array([1.0, 0.0, -1.0]))
+            body.integrate(BOUNDS)
+        assert body.position[0] > 0.5
+        assert abs(body.position[1]) < 1e-9
+
+    def test_bracing_slows_body(self):
+        fast, braced = PlanarBody(), PlanarBody()
+        fast.reset(np.zeros(2))
+        braced.reset(np.zeros(2))
+        for _ in range(20):
+            fast.apply_action(np.array([1.0, 0.0, -1.0]))
+            braced.apply_action(np.array([1.0, 0.0, 1.0]))
+            fast.integrate(BOUNDS)
+            braced.integrate(BOUNDS)
+        assert fast.position[0] > braced.position[0]
+
+    def test_fallen_body_cannot_act(self):
+        body = PlanarBody()
+        body.reset(np.zeros(2))
+        body.fallen = True
+        body.apply_action(np.array([1.0, 0.0, -1.0]))
+        body.integrate(BOUNDS)
+        assert abs(body.position[0]) < 1e-6
+
+    def test_walls_stop_body(self):
+        body = PlanarBody()
+        body.reset(np.array([5.9, 0.0]))
+        for _ in range(10):
+            body.apply_action(np.array([1.0, 0.0, -1.0]))
+            body.integrate(BOUNDS)
+        assert body.position[0] <= 6.0
+        assert body.velocity[0] == 0.0
+
+    def test_balance_recovers(self):
+        body = PlanarBody(recover_rate=0.1)
+        body.reset(np.zeros(2))
+        body.balance = 0.5
+        body.integrate(BOUNDS)
+        assert body.balance == pytest.approx(0.6)
+
+    def test_take_impact_falls_at_zero(self):
+        body = PlanarBody()
+        body.reset(np.zeros(2))
+        body.take_impact(impact_speed=100.0, damage_gain=1.0)
+        assert body.fallen and body.balance == 0.0
+
+    def test_brace_reduces_damage(self):
+        soft, hard = PlanarBody(brace_effect=0.8), PlanarBody(brace_effect=0.8)
+        soft.reset(np.zeros(2))
+        hard.reset(np.zeros(2))
+        hard.brace = 1.0
+        soft.take_impact(1.0, 0.3)
+        hard.take_impact(1.0, 0.3)
+        assert hard.balance > soft.balance
+
+    def test_state_vector(self):
+        body = PlanarBody()
+        body.reset(np.array([1.0, -1.0]))
+        state = body.state()
+        assert state.shape == (6,)
+        np.testing.assert_array_equal(state[:2], [1.0, -1.0])
+        assert state[4] == 1.0 and state[5] == 0.0
+
+
+class TestContact:
+    def _pair(self, gap=0.5):
+        a, b = PlanarBody(), PlanarBody()
+        a.reset(np.array([0.0, 0.0]))
+        b.reset(np.array([gap, 0.0]))
+        return a, b
+
+    def test_no_contact_when_apart(self):
+        a, b = self._pair(gap=2.0)
+        assert not resolve_contact(a, b)
+
+    def test_contact_separates_bodies(self):
+        a, b = self._pair(gap=0.5)
+        assert resolve_contact(a, b)
+        assert np.linalg.norm(b.position - a.position) >= 0.8 - 1e-9
+
+    def test_charger_takes_more_damage(self):
+        a, b = self._pair(gap=0.5)
+        a.velocity = np.array([3.0, 0.0])  # a charges into stationary b
+        resolve_contact(a, b, damage_gain=0.2)
+        assert a.balance < b.balance
+
+    def test_momentum_exchange(self):
+        a, b = self._pair(gap=0.5)
+        a.velocity = np.array([2.0, 0.0])
+        resolve_contact(a, b)
+        assert a.velocity[0] < 2.0
+        assert b.velocity[0] > 0.0
+
+    def test_fallen_body_is_smaller(self):
+        body = PlanarBody()
+        body.reset(np.zeros(2))
+        r0 = body.effective_radius
+        body.fallen = True
+        assert body.effective_radius < r0
+
+
+class TestYouShallNotPass:
+    def test_reset_positions(self):
+        game = YouShallNotPassEnv()
+        ov, oa = game.reset(seed=0)
+        assert game.runner.position[0] == pytest.approx(4.0)
+        assert game.blocker.position[0] == pytest.approx(0.0)
+        assert ov.shape == (14,) and oa.shape == (14,)
+
+    def test_zero_sum_rewards(self, rng):
+        game = YouShallNotPassEnv()
+        game.reset(seed=1)
+        for _ in range(50):
+            _, (rv, ra), done, _ = game.step(rng.uniform(-1, 1, 3), rng.uniform(-1, 1, 3))
+            assert rv + ra == pytest.approx(0.0)
+            if done:
+                break
+
+    def test_victim_wins_by_crossing(self):
+        game = YouShallNotPassEnv()
+        game.reset(seed=0)
+        game.runner.position = np.array([game.finish_x + 0.05, 0.0])
+        _, _, done, info = game.step(np.array([-1.0, 0.0, -1.0]), np.zeros(3))
+        assert done and info["victim_win"] and not info["adversary_win"]
+
+    def test_adversary_wins_by_knockdown(self):
+        game = YouShallNotPassEnv()
+        game.reset(seed=0)
+        game.runner.balance = 0.0
+        game.runner.fallen = True
+        _, _, done, info = game.step(np.zeros(3), np.zeros(3))
+        assert done and info["adversary_win"]
+
+    def test_adversary_wins_by_timeout(self):
+        game = YouShallNotPassEnv()
+        game.reset(seed=0)
+        done = False
+        for _ in range(game.max_steps):
+            _, _, done, info = game.step(np.zeros(3), np.zeros(3))
+            if done:
+                break
+        assert done and info["adversary_win"]
+
+    def test_info_states_for_knn(self):
+        game = YouShallNotPassEnv()
+        game.reset(seed=0)
+        _, _, _, info = game.step(np.zeros(3), np.zeros(3))
+        assert info["victim_state"].shape == (6,)
+        assert info["adversary_state"].shape == (6,)
+
+    def test_runner_outruns_static_blocker(self):
+        game = YouShallNotPassEnv()
+        game.reset(seed=2)
+        game.runner.position[1] = 2.0  # offset lane: no contact
+        for _ in range(game.max_steps):
+            _, _, done, info = game.step(np.array([-1.0, 0.0, -1.0]), np.zeros(3))
+            if done:
+                break
+        assert info["victim_win"]
+
+
+class TestKickAndDefend:
+    def test_reset_layout(self):
+        game = KickAndDefendEnv()
+        ov, oa = game.reset(seed=0)
+        assert ov.shape == (17,) and oa.shape == (17,)
+        assert game.kicker.position[0] == pytest.approx(-4.0)
+        xmin, xmax, ymin, ymax = game.goalie_box
+        assert xmin <= game.goalie.position[0] <= xmax
+
+    def test_goalie_confined_to_box(self, rng):
+        game = KickAndDefendEnv()
+        game.reset(seed=1)
+        for _ in range(80):
+            _, _, done, _ = game.step(np.zeros(3), np.array([1.0, 1.0, 0.0]))
+            xmin, xmax, ymin, ymax = game.goalie_box
+            assert xmin - 1e-9 <= game.goalie.position[0] <= xmax + 1e-9
+            assert ymin - 1e-9 <= game.goalie.position[1] <= ymax + 1e-9
+            if done:
+                break
+
+    def test_kick_launches_ball(self):
+        game = KickAndDefendEnv()
+        game.reset(seed=0)
+        game.kicker.position = game.ball_position - np.array([0.3, 0.0])
+        _, _, _, info = game.step(np.array([1.0, 0.0, 0.0]), np.zeros(3))
+        assert info["kicked"]
+        assert game.ball_velocity[0] > 0.0
+
+    def test_goal_scores(self):
+        game = KickAndDefendEnv()
+        game.reset(seed=0)
+        game._kicked = True
+        game.ball_position = np.array([game.gate_x - 0.1, 0.0])
+        game.ball_velocity = np.array([3.0, 0.0])
+        # park the goalie far away so it cannot block
+        game.goalie.position = np.array([game.goalie_box[0], game.goalie_box[3]])
+        _, _, done, info = game.step(np.zeros(3), np.zeros(3))
+        assert done and info["victim_win"]
+
+    def test_wide_shot_is_adversary_win(self):
+        game = KickAndDefendEnv()
+        game.reset(seed=0)
+        game._kicked = True
+        game.ball_position = np.array([game.gate_x - 0.1, 2.5])
+        game.ball_velocity = np.array([3.0, 0.0])
+        _, _, done, info = game.step(np.zeros(3), np.zeros(3))
+        assert done and info["adversary_win"]
+
+    def test_block_stops_ball(self):
+        game = KickAndDefendEnv()
+        game.reset(seed=0)
+        game._kicked = True
+        game.ball_position = game.goalie.position - np.array([0.3, 0.0])
+        game.ball_velocity = np.array([3.0, 0.0])
+        _, _, done, info = game.step(np.zeros(3), np.zeros(3))
+        assert info["blocked"] and done and info["adversary_win"]
+        np.testing.assert_array_equal(game.ball_velocity, [0.0, 0.0])
+
+    def test_zero_sum(self, rng):
+        game = KickAndDefendEnv()
+        game.reset(seed=3)
+        for _ in range(60):
+            _, (rv, ra), done, _ = game.step(rng.uniform(-1, 1, 3), rng.uniform(-1, 1, 3))
+            assert rv + ra == pytest.approx(0.0)
+            if done:
+                break
+
+
+class TestGameRegistry:
+    def test_make_game(self):
+        for game_id in envs.GAME_TASKS:
+            game = envs.make_game(game_id)
+            ov, oa = game.reset(seed=0)
+            assert game.victim_observation_space.contains(ov)
+            assert game.adversary_observation_space.contains(oa)

@@ -1,0 +1,192 @@
+"""The four adversarial intrinsic regularizers, mimic policy, BR dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AdversaryRollout, AttackConfig
+from repro.attacks.imap import (
+    DivergenceRegularizer,
+    MimicPolicy,
+    PolicyCoverageRegularizer,
+    RiskRegularizer,
+    StateCoverageRegularizer,
+    imap_name,
+    make_regularizer,
+)
+from repro.rl import ActorCritic
+
+
+def make_rollout(rng, n=40, feature_dim=4, obs_dim=6, action_dim=2,
+                 victim_features=None, adversary_features=None):
+    features_v = victim_features if victim_features is not None else rng.standard_normal((n, feature_dim))
+    features_a = adversary_features if adversary_features is not None else rng.standard_normal((n, feature_dim))
+    dones = np.zeros(n)
+    dones[-1] = 1.0
+    return AdversaryRollout(
+        obs=rng.standard_normal((n, obs_dim)),
+        actions=rng.standard_normal((n, action_dim)),
+        log_probs=rng.standard_normal(n),
+        rewards=np.zeros(n),
+        values_e=np.zeros(n),
+        values_i=np.zeros(n),
+        dones=dones,
+        terminated=dones.copy(),
+        bootstrap_e=np.zeros(n),
+        bootstrap_i=np.zeros(n),
+        knn_victim=features_v,
+        knn_adversary=features_a,
+        episode_rewards=[-1.0, 0.0],
+        episode_victim_rewards=[10.0, 5.0],
+        episode_successes=[True, False],
+    )
+
+
+@pytest.fixture
+def config():
+    return AttackConfig(knn_k=3, seed=0)
+
+
+@pytest.fixture
+def policy(rng):
+    return ActorCritic(6, 2, hidden_sizes=(8,), dual_value=True, rng=rng)
+
+
+class TestFactory:
+    def test_make_all(self, config):
+        for name, cls in [("sc", StateCoverageRegularizer), ("pc", PolicyCoverageRegularizer),
+                          ("r", RiskRegularizer), ("d", DivergenceRegularizer)]:
+            assert isinstance(make_regularizer(name, config), cls)
+
+    def test_unknown_name(self, config):
+        with pytest.raises(ValueError):
+            make_regularizer("xyz", config)
+
+    def test_imap_name(self):
+        assert imap_name("pc") == "IMAP-PC"
+        assert imap_name("r", use_bias_reduction=True) == "IMAP-R+BR"
+
+
+class TestStateCoverage:
+    def test_isolated_state_gets_higher_bonus(self, config, policy, rng):
+        features = rng.standard_normal((30, 3)) * 0.1
+        features[7] = [10.0, 10.0, 10.0]  # isolated
+        rollout = make_rollout(rng, n=30, feature_dim=3, adversary_features=features)
+        bonus = StateCoverageRegularizer(config).compute(rollout, policy)
+        assert bonus.argmax() == 7
+
+    def test_multiagent_mixes_spaces(self, config, policy, rng):
+        features_a = rng.standard_normal((20, 3)) * 0.01   # dense: low bonus
+        features_v = rng.standard_normal((20, 3)) * 10.0   # spread: high bonus
+        rollout = make_rollout(rng, n=20, feature_dim=3,
+                               adversary_features=features_a, victim_features=features_v)
+        from dataclasses import replace
+        low_xi = StateCoverageRegularizer(replace(config, xi=0.0), multi_agent=True)
+        high_xi = StateCoverageRegularizer(replace(config, xi=1.0), multi_agent=True)
+        assert high_xi.compute(rollout, policy).mean() > low_xi.compute(rollout, policy).mean()
+
+
+class TestPolicyCoverage:
+    def test_bonus_shrinks_on_heavily_revisited_states(self, config, policy, rng):
+        reg = PolicyCoverageRegularizer(config)
+        features = rng.standard_normal((40, 3))
+        r1 = make_rollout(rng, n=40, feature_dim=3, adversary_features=features)
+        bonus_before = reg.compute(r1, policy)
+        # densely revisit the same region several times: ρ grows there
+        for _ in range(5):
+            jittered = features + rng.normal(0, 0.01, features.shape)
+            reg.after_update(
+                make_rollout(rng, n=40, feature_dim=3, adversary_features=jittered),
+                policy,
+            )
+        bonus_after = reg.compute(
+            make_rollout(rng, n=40, feature_dim=3, adversary_features=features.copy()),
+            policy,
+        )
+        assert bonus_after.mean() < bonus_before.mean()
+
+    def test_novel_region_keeps_high_bonus(self, config, policy, rng):
+        reg = PolicyCoverageRegularizer(config)
+        old = rng.standard_normal((40, 3))
+        reg.after_update(make_rollout(rng, n=40, feature_dim=3, adversary_features=old), policy)
+        novel = old + 100.0
+        both = np.vstack([old[:20], novel[:20]])
+        rollout = make_rollout(rng, n=40, feature_dim=3, adversary_features=both)
+        bonus = reg.compute(rollout, policy)
+        assert bonus[20:].mean() > bonus[:20].mean()
+
+
+class TestRisk:
+    def test_target_captured_lazily(self, config, policy, rng):
+        reg = RiskRegularizer(config)
+        rollout = make_rollout(rng)
+        reg.compute(rollout, policy)
+        np.testing.assert_array_equal(reg.target, rollout.knn_victim[0])
+
+    def test_bonus_is_negative_distance(self, config, policy, rng):
+        target = np.zeros(3)
+        reg = RiskRegularizer(config, target=target)
+        features = rng.standard_normal((25, 3))
+        rollout = make_rollout(rng, n=25, feature_dim=3, victim_features=features)
+        bonus = reg.compute(rollout, policy)
+        np.testing.assert_allclose(bonus, -np.linalg.norm(features, axis=1), atol=1e-12)
+
+    def test_closer_states_score_higher(self, config, policy, rng):
+        reg = RiskRegularizer(config, target=np.zeros(3))
+        features = np.vstack([np.full((5, 3), 0.1), np.full((5, 3), 5.0)])
+        rollout = make_rollout(rng, n=10, feature_dim=3, victim_features=features)
+        bonus = reg.compute(rollout, policy)
+        assert bonus[:5].mean() > bonus[5:].mean()
+
+
+class TestDivergence:
+    def test_zero_before_mimic_trained(self, config, policy, rng):
+        reg = DivergenceRegularizer(config)
+        bonus = reg.compute(make_rollout(rng), policy)
+        np.testing.assert_array_equal(bonus, np.zeros(40))
+
+    def test_positive_after_policy_moves(self, config, policy, rng):
+        reg = DivergenceRegularizer(config)
+        rollout = make_rollout(rng)
+        reg.after_update(rollout, policy)  # mimic fits current policy
+        # shift the policy so it diverges from the mimic
+        for p in policy.actor.parameters():
+            p.data = p.data + 0.5
+        bonus = reg.compute(make_rollout(rng), policy)
+        assert bonus.mean() > 0.0
+        assert (bonus >= 0.0).all()  # KL is nonnegative
+
+
+class TestMimicPolicy:
+    def test_fit_reduces_loss(self, policy, rng):
+        mimic = MimicPolicy(6, 2, hidden=(16,), seed=0)
+        obs = rng.standard_normal((200, 6))
+        mimic.absorb(obs, policy)
+        first = mimic.fit(steps=1)
+        for _ in range(10):
+            last = mimic.fit(steps=20)
+        assert last < first
+
+    def test_absorb_respects_capacity(self, policy, rng):
+        mimic = MimicPolicy(6, 2, buffer_capacity=50, seed=0)
+        mimic.absorb(rng.standard_normal((200, 6)), policy)
+        assert len(mimic._obs) == 50
+        assert mimic._seen == 200
+
+    def test_fit_empty_buffer_is_noop(self):
+        mimic = MimicPolicy(4, 2, seed=0)
+        assert mimic.fit() == 0.0
+        assert not mimic.trained
+
+    def test_mimic_converges_to_policy_mean(self, policy, rng):
+        mimic = MimicPolicy(6, 2, hidden=(32,), learning_rate=3e-3, seed=0)
+        obs = rng.standard_normal((500, 6))
+        mimic.absorb(obs, policy)
+        for _ in range(40):
+            mimic.fit(steps=25)
+        from repro import nn
+        with nn.no_grad():
+            target = policy.distribution(obs[:50]).mean.data
+            got = mimic.distribution(obs[:50]).mean.data
+        assert np.abs(target - got).mean() < 0.15

@@ -1,0 +1,44 @@
+"""The single-value-head ablation path through the adversary trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.attacks import AttackConfig, StatePerturbationEnv, train_imap
+
+
+@pytest.mark.slow
+class TestSingleValueHead:
+    def test_single_head_policy_has_one_critic(self, tiny_victim):
+        adv_env = StatePerturbationEnv(envs.make("Hopper-v0"), tiny_victim, epsilon=0.3)
+        config = AttackConfig(iterations=2, steps_per_iteration=128,
+                              hidden_sizes=(8,), seed=0, single_value_head=True)
+        result = train_imap(adv_env, "sc", config)
+        assert not result.policy.dual_value
+        assert len(result.history) == 2
+
+    def test_dual_head_is_default(self, tiny_victim):
+        adv_env = StatePerturbationEnv(envs.make("Hopper-v0"), tiny_victim, epsilon=0.3)
+        config = AttackConfig(iterations=1, steps_per_iteration=128,
+                              hidden_sizes=(8,), seed=0)
+        result = train_imap(adv_env, "sc", config)
+        assert result.policy.dual_value
+
+    def test_single_head_still_uses_intrinsic(self, tiny_victim):
+        """Folded intrinsic rewards must reach the extrinsic channel."""
+        from repro.attacks.imap.regularizers import StateCoverageRegularizer
+        from repro.attacks.trainer import AdversaryTrainer, collect_adversary_rollout
+
+        config = AttackConfig(iterations=1, steps_per_iteration=128,
+                              hidden_sizes=(8,), seed=0, single_value_head=True)
+        adv_env = StatePerturbationEnv(envs.make("Hopper-v0"), tiny_victim, epsilon=0.3)
+        trainer = AdversaryTrainer(adv_env, config,
+                                   regularizer=StateCoverageRegularizer(config))
+        adv_env.seed(0)
+        rollout = collect_adversary_rollout(adv_env, trainer.policy, 64, trainer.rng)
+        before = rollout.rewards.copy()
+        intrinsic = trainer.regularizer.compute(rollout, trainer.policy)
+        assert intrinsic.shape == before.shape
+        assert not np.allclose(intrinsic, 0.0)

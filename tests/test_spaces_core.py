@@ -1,0 +1,160 @@
+"""Spaces, Env base API, Wrapper delegation, TimeLimit semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.envs import Box, Discrete, Env, TimeLimit, Wrapper
+
+
+class CountingEnv(Env):
+    """Steps forever, reward 1; terminates itself at ``die_at`` if set."""
+
+    def __init__(self, die_at: int | None = None):
+        super().__init__()
+        self.observation_space = Box(-np.inf, np.inf, (2,))
+        self.action_space = Box(-1.0, 1.0, (1,))
+        self.die_at = die_at
+        self.t = 0
+
+    def _reset(self):
+        self.t = 0
+        return np.zeros(2)
+
+    def step(self, action):
+        self.t += 1
+        terminated = self.die_at is not None and self.t >= self.die_at
+        return np.full(2, float(self.t)), 1.0, terminated, False, {"success": False}
+
+
+class TestBox:
+    def test_contains(self):
+        box = Box(-1.0, 1.0, (3,))
+        assert box.contains(np.zeros(3))
+        assert not box.contains(np.full(3, 2.0))
+        assert not box.contains(np.zeros(4))
+
+    def test_sample_within_bounds(self, rng):
+        box = Box(-2.0, 3.0, (5,))
+        for _ in range(20):
+            assert box.contains(box.sample(rng))
+
+    def test_sample_unbounded_is_finite(self, rng):
+        box = Box(-np.inf, np.inf, (4,))
+        assert np.isfinite(box.sample(rng)).all()
+
+    def test_clip(self):
+        box = Box(-1.0, 1.0, (2,))
+        np.testing.assert_array_equal(box.clip([5.0, -5.0]), [1.0, -1.0])
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Box(1.0, -1.0, (2,))
+
+    def test_equality(self):
+        assert Box(-1, 1, (2,)) == Box(-1, 1, (2,))
+        assert Box(-1, 1, (2,)) != Box(-1, 1, (3,))
+
+    def test_shape_from_array_low(self):
+        box = Box(np.zeros(3), np.ones(3))
+        assert box.shape == (3,)
+
+
+class TestDiscrete:
+    def test_contains(self):
+        d = Discrete(4)
+        assert d.contains(0) and d.contains(3)
+        assert not d.contains(4) and not d.contains(-1)
+        assert not d.contains("x")
+
+    def test_sample_range(self, rng):
+        d = Discrete(3)
+        samples = {d.sample(rng) for _ in range(100)}
+        assert samples == {0, 1, 2}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Discrete(0)
+
+
+class TestTimeLimit:
+    def test_truncates_at_limit(self):
+        env = TimeLimit(CountingEnv(), max_steps=5)
+        env.reset()
+        for i in range(4):
+            _, _, term, trunc, _ = env.step(np.zeros(1))
+            assert not term and not trunc
+        _, _, term, trunc, _ = env.step(np.zeros(1))
+        assert trunc and not term
+
+    def test_termination_beats_truncation(self):
+        env = TimeLimit(CountingEnv(die_at=5), max_steps=5)
+        env.reset()
+        for _ in range(4):
+            env.step(np.zeros(1))
+        _, _, term, trunc, _ = env.step(np.zeros(1))
+        assert term and not trunc
+
+    def test_reset_restarts_counter(self):
+        env = TimeLimit(CountingEnv(), max_steps=3)
+        env.reset()
+        for _ in range(3):
+            env.step(np.zeros(1))
+        env.reset()
+        _, _, _, trunc, _ = env.step(np.zeros(1))
+        assert not trunc
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            TimeLimit(CountingEnv(), max_steps=0)
+
+
+class TestWrapper:
+    def test_unwrapped_chain(self):
+        base = CountingEnv()
+        wrapped = TimeLimit(Wrapper(base), 5)
+        assert wrapped.unwrapped is base
+
+    def test_seed_reproducibility(self, rng):
+        from repro.envs import make
+        a, b = make("Hopper-v0"), make("Hopper-v0")
+        oa, ob = a.reset(seed=7), b.reset(seed=7)
+        np.testing.assert_array_equal(oa, ob)
+        action = a.action_space.sample(np.random.default_rng(0))
+        np.testing.assert_array_equal(a.step(action)[0], b.step(action)[0])
+
+    def test_spaces_delegate(self):
+        base = CountingEnv()
+        w = Wrapper(base)
+        assert w.observation_space is base.observation_space
+        assert w.action_space is base.action_space
+
+
+class TestRegistry:
+    def test_all_ids_make(self):
+        from repro import envs
+        for env_id in envs.DENSE_TASKS + envs.SPARSE_TASKS:
+            env = envs.make(env_id)
+            obs = env.reset(seed=0)
+            assert env.observation_space.contains(obs), env_id
+
+    def test_unknown_id_raises(self):
+        from repro import envs
+        with pytest.raises(KeyError):
+            envs.make("NopeEnv-v0")
+        with pytest.raises(KeyError):
+            envs.make_game("NopeGame-v0")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.envs import registry
+        with pytest.raises(ValueError):
+            registry.register("Hopper-v0", lambda: None)
+
+    def test_paper_observation_dimensions(self):
+        """Obs dims must match the paper's tasks (Section 6.1)."""
+        from repro import envs
+        expected = {"Hopper-v0": 11, "Walker2d-v0": 17, "HalfCheetah-v0": 17,
+                    "Ant-v0": 111, "Humanoid-v0": 376, "HumanoidStandup-v0": 376}
+        for env_id, dim in expected.items():
+            assert envs.make(env_id).observation_space.shape == (dim,), env_id

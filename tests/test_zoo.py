@@ -1,0 +1,144 @@
+"""Victim zoo: caching, training-env twins, scripted opponents."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.defenses import DefenseTrainConfig
+from repro.zoo import (
+    VictimGameEnv,
+    WeakBlocker,
+    WeakGoalie,
+    get_game_victim,
+    get_victim,
+    training_env_factory,
+    victim_cache_path,
+)
+from repro.zoo.opponents import MixtureOpponent, Rammer
+
+TINY = DefenseTrainConfig(iterations=1, steps_per_iteration=128, hidden_sizes=(8,), seed=0)
+
+
+class TestTrainingEnvFactory:
+    def test_dense_uses_registered_env(self):
+        env = training_env_factory("Hopper-v0")()
+        assert env.observation_space.shape == (11,)
+
+    def test_sparse_twin_is_dense_rewarded(self):
+        env = training_env_factory("SparseHopper-v0")()
+        env.reset(seed=0)
+        _, reward, _, _, _ = env.step(np.zeros(3))
+        assert reward != 0.0  # shaped (alive bonus), not sparse
+
+    def test_sparse_twin_matches_obs_space(self):
+        twin = training_env_factory("SparseAnt-v0")()
+        sparse = envs.make("SparseAnt-v0")
+        assert twin.observation_space == sparse.observation_space
+
+    def test_navigation_twin_shaped(self):
+        env = training_env_factory("AntUMaze-v0")()
+        assert env.shaped
+
+    def test_fetchreach_twin_shaped(self):
+        env = training_env_factory("FetchReach-v0")()
+        assert env.shaped
+
+
+class TestVictimCache:
+    def test_cache_roundtrip(self):
+        v1 = get_victim("Hopper-v0", "ppo", config=TINY, budget_tag="tiny", seed=0)
+        path = victim_cache_path("Hopper-v0", "ppo", "tiny", 0)
+        assert path.exists()
+        v2 = get_victim("Hopper-v0", "ppo", config=TINY, budget_tag="tiny", seed=0)
+        x = np.ones(11)
+        np.testing.assert_allclose(v1.actor(x).data, v2.actor(x).data)
+        assert v2.normalizer.frozen
+
+    def test_force_retrain_overwrites(self):
+        get_victim("Hopper-v0", "ppo", config=TINY, budget_tag="tiny2", seed=0)
+        path = victim_cache_path("Hopper-v0", "ppo", "tiny2", 0)
+        mtime = path.stat().st_mtime_ns
+        get_victim("Hopper-v0", "ppo", config=TINY, budget_tag="tiny2", seed=0,
+                   force_retrain=True)
+        assert path.stat().st_mtime_ns >= mtime
+
+    def test_distinct_keys_per_defense_and_seed(self):
+        a = victim_cache_path("Hopper-v0", "ppo", "t", 0)
+        b = victim_cache_path("Hopper-v0", "sa", "t", 0)
+        c = victim_cache_path("Hopper-v0", "ppo", "t", 1)
+        assert len({a, b, c}) == 3
+
+    def test_game_victim_cache(self):
+        v1 = get_game_victim("YouShallNotPass-v0", iterations=1,
+                             steps_per_iteration=128, hidden_sizes=(8,),
+                             hardening_iterations=0, budget_tag="tiny", seed=0)
+        v2 = get_game_victim("YouShallNotPass-v0", iterations=1,
+                             steps_per_iteration=128, hidden_sizes=(8,),
+                             hardening_iterations=0, budget_tag="tiny", seed=0)
+        x = np.ones(14)
+        np.testing.assert_allclose(v1.actor(x).data, v2.actor(x).data)
+
+
+class TestOpponents:
+    def test_weak_blocker_tracks_runner(self):
+        obs = np.zeros(14)
+        obs[12:14] = [2.0, 1.0]  # runner is ahead and above
+        action = WeakBlocker(seed=0).action(obs)
+        assert action.shape == (3,)
+        assert action[0] > 0  # move toward the runner (x)
+
+    def test_rammer_charges_at_unit_speed(self):
+        obs = np.zeros(14)
+        obs[12:14] = [3.0, 4.0]
+        action = Rammer(seed=0).action(obs)
+        np.testing.assert_allclose(action[:2], [0.6, 0.8], atol=1e-12)
+        assert action[2] == 1.0  # braced
+
+    def test_weak_goalie_tracks_ball(self):
+        obs = np.zeros(17)
+        obs[1] = 0.0    # my y
+        obs[13] = 1.5   # ball y
+        action = WeakGoalie(seed=0).action(obs)
+        assert action[1] > 0
+
+    def test_mixture_switches_on_reset(self):
+        class Tag:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def action(self, obs, rng=None, deterministic=False):
+                return np.full(3, self.tag)
+
+        mix = MixtureOpponent([Tag(0.0), Tag(1.0)], seed=0)
+        seen = set()
+        for _ in range(30):
+            mix.reset()
+            seen.add(float(mix.action(np.zeros(14))[0]))
+        assert seen == {0.0, 1.0}
+
+    def test_mixture_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MixtureOpponent([])
+
+
+class TestVictimGameEnv:
+    def test_single_agent_view(self, rng):
+        game = envs.make_game("YouShallNotPass-v0")
+        env = VictimGameEnv(game, WeakBlocker(seed=0), seed=0)
+        obs = env.reset(seed=0)
+        assert obs.shape == (14,)
+        obs, r, term, trunc, info = env.step(rng.uniform(-1, 1, 3))
+        assert "success" in info
+
+    def test_episode_terminates(self, rng):
+        game = envs.make_game("YouShallNotPass-v0")
+        env = VictimGameEnv(game, WeakBlocker(seed=0), seed=0)
+        env.reset(seed=0)
+        done = False
+        for _ in range(game.max_steps + 1):
+            _, _, done, trunc, _ = env.step(rng.uniform(-1, 1, 3))
+            if done:
+                break
+        assert done
