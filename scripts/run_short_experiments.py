@@ -3,10 +3,16 @@
 
 Trimmed to a representative subset per table/figure so the battery fits
 a single-core budget; the bench files expose the full grids.
+
+``--jobs N`` routes the per-table/figure sections through the
+process-pool scheduler (:mod:`repro.runtime.scheduler`): each section is
+an independent job that writes its own artifact files, and a crashed
+section is reported without aborting the battery.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -21,34 +27,33 @@ from repro.experiments import (
     run_table2,
 )
 from repro.experiments.table3 import br_improvement_count, render_table3
+from repro.runtime import Job, run_parallel
 
 OUT = Path("artifacts/results")
-OUT.mkdir(parents=True, exist_ok=True)
 SCALE = SCALES["short"]
 
 
 def save(name: str, text: str, payload=None) -> None:
+    OUT.mkdir(parents=True, exist_ok=True)
     (OUT / f"{name}.txt").write_text(text)
     if payload is not None:
         (OUT / f"{name}.json").write_text(json.dumps(payload, indent=2, default=float))
     print(f"=== saved {name} ===\n{text}\n", flush=True)
 
 
-def main() -> None:
-    t0 = time.time()
-
-    # ---- Table 1 (representative slice) --------------------------------
+def section_table1() -> str:
     t1 = run_table1(
         env_ids=["Hopper-v0"],
         defenses=["ppo", "sa", "wocar", "atla"],
         attacks=["none", "random", "sarl", "imap-pc", "imap-r"],
         scale=SCALE, seed=0,
     )
-    save("table1", t1.render(attacks=["none", "random", "sarl", "imap-pc", "imap-r"]),
-         [c.__dict__ for c in t1.cells])
-    print(f"[t={time.time()-t0:.0f}s] table1 done", flush=True)
+    text = t1.render(attacks=["none", "random", "sarl", "imap-pc", "imap-r"])
+    save("table1", text, [c.__dict__ for c in t1.cells])
+    return "table1"
 
-    # ---- Table 2 / Table 3 (four tasks, with BR) ------------------------
+
+def section_table2_table3() -> str:
     t2 = run_table2(
         env_ids=["SparseHopper-v0", "AntUMaze-v0", "FetchReach-v0"],
         attacks=["none", "random", "sarl", "imap-sc", "imap-pc", "imap-r", "imap-d"],
@@ -60,12 +65,14 @@ def main() -> None:
             + f"\nBR improves some variant on {improved}/{total3} tasks"
             + "\n\n" + render_table3(t2))
     save("table2_table3", text, [c.__dict__ for c in t2.cells])
-    print(f"[t={time.time()-t0:.0f}s] table2/3 done", flush=True)
+    return "table2_table3"
 
-    # ---- Figure 5 (YouShallNotPass; KickAndDefend via the bench) ---------
+
+def section_fig5() -> str:
     f5 = run_fig5(game_ids=["YouShallNotPass-v0"], scale=SCALE, seed=0)
     lines = []
     payload = {}
+    OUT.mkdir(parents=True, exist_ok=True)
     for game_id, data in f5.items():
         lines.append(data["curves"].render(y_name="asr"))
         for attack, asr in data["final_asr"].items():
@@ -76,35 +83,68 @@ def main() -> None:
         }
         data["curves"].to_json(OUT / f"fig5_{game_id}.curves.json")
     save("fig5", "\n".join(lines), payload)
-    print(f"[t={time.time()-t0:.0f}s] fig5 done", flush=True)
+    return "fig5"
 
-    # ---- Figure 4 (two sparse tasks) ------------------------------------
+
+def section_fig4() -> str:
     f4 = run_fig4(env_ids=["SparseWalker2d-v0"],
                   attacks=["sarl", "imap-pc", "imap-r"], scale=SCALE, seed=0)
     lines = []
+    OUT.mkdir(parents=True, exist_ok=True)
     for env_id, figure in f4.items():
         lines.append(figure.render(y_name="victim success"))
         figure.to_json(OUT / f"fig4_{env_id}.curves.json")
     save("fig4", "\n\n".join(lines))
-    print(f"[t={time.time()-t0:.0f}s] fig4 done", flush=True)
+    return "fig4"
 
-    # ---- Figure 6 / Figure 7 ablations ----------------------------------
+
+def section_fig6() -> str:
     f6 = run_fig6(env_id="SparseHopper-v0", etas=[0.1, 1.0], scale=SCALE, seed=0)
     save("fig6",
          f6["curves"].render(y_name="victim success")
          + "\n" + "\n".join(f"eta={k}: victim reward {v:.2f}"
                             for k, v in f6["final_reward"].items()),
          {"final_reward": {str(k): v for k, v in f6["final_reward"].items()}})
-    print(f"[t={time.time()-t0:.0f}s] fig6 done", flush=True)
+    return "fig6"
 
+
+def section_fig7() -> str:
     f7 = run_fig7(xis=[0.5, 1.0], scale=SCALE, seed=0)
     save("fig7",
          f7["curves"].render(y_name="asr")
          + "\n" + "\n".join(f"xi={k}: final ASR {v:.2%}"
                             for k, v in f7["final_asr"].items()),
          {"final_asr": {str(k): v for k, v in f7["final_asr"].items()}})
-    print(f"[t={time.time()-t0:.0f}s] ALL DONE", flush=True)
+    return "fig7"
+
+
+SECTIONS = [section_table1, section_table2_table3, section_fig5,
+            section_fig4, section_fig6, section_fig7]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="process-pool workers for the battery sections "
+                             "(default 1: run sequentially)")
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    if args.jobs <= 1:
+        for section in SECTIONS:
+            name = section()
+            print(f"[t={time.time()-t0:.0f}s] {name} done", flush=True)
+        print(f"[t={time.time()-t0:.0f}s] ALL DONE", flush=True)
+        return 0
+
+    jobs = [Job(fn=section, name=section.__name__) for section in SECTIONS]
+    report = run_parallel(jobs, max_workers=args.jobs)
+    for result in report.results:
+        status = "done" if result.ok else f"FAILED: {result.error}"
+        print(f"[{result.duration:.0f}s] {result.name} {status}", flush=True)
+    print(f"[scheduler] {report.summary()}", flush=True)
+    return 1 if report.n_failed else 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -9,7 +9,20 @@ import numpy as np
 from ..rl.policy import ActorCritic
 from ..rl.ppo import PPOConfig
 
-__all__ = ["AttackConfig", "AttackResult", "AdversaryRollout"]
+__all__ = ["AttackConfig", "AttackResult", "AdversaryRollout", "knn_feature"]
+
+
+def knn_feature(info: dict, key: str, dim: int) -> np.ndarray:
+    """KNN feature stream lookup with a zero-vector default.
+
+    Non-IMAP adversary envs (or plain task envs) don't publish
+    ``knn_victim``/``knn_adversary``; a zero feature keeps the density
+    machinery well-defined instead of raising ``KeyError``.
+    """
+    value = info.get(key)
+    if value is None:
+        return np.zeros(dim)
+    return np.asarray(value, dtype=np.float64)
 
 
 @dataclass

@@ -15,7 +15,8 @@ from ..envs.core import Env
 from ..rl.buffers import RolloutBuffer
 from ..rl.policy import ActorCritic
 from ..rl.ppo import PPOUpdater
-from .base import AdversaryRollout, AttackConfig, AttackResult
+from ..runtime.vec_env import VectorEnv
+from .base import AdversaryRollout, AttackConfig, AttackResult, knn_feature
 
 __all__ = ["collect_adversary_rollout", "AdversaryTrainer"]
 
@@ -46,8 +47,8 @@ def collect_adversary_rollout(env: Env, policy: ActorCritic, n_steps: int,
         ep_success = ep_success or bool(info.get("success", False))
         buffer.add(normalized, action, log_prob, reward, value_e, value_i,
                    done=done, terminated=terminated)
-        knn_victim.append(np.asarray(info["knn_victim"], dtype=np.float64))
-        knn_adversary.append(np.asarray(info["knn_adversary"], dtype=np.float64))
+        knn_victim.append(knn_feature(info, "knn_victim", obs_dim))
+        knn_adversary.append(knn_feature(info, "knn_adversary", obs_dim))
         index = buffer.ptr - 1
         if done:
             if not terminated:
@@ -116,9 +117,15 @@ def _rollout_to_batch(rollout: AdversaryRollout, intrinsic: np.ndarray | None,
 
 
 class AdversaryTrainer:
-    """PPO loop over an adversary MDP with optional intrinsic regularizer."""
+    """PPO loop over an adversary MDP with optional intrinsic regularizer.
 
-    def __init__(self, env: Env, config: AttackConfig, regularizer=None,
+    ``env`` may be a plain :class:`~repro.envs.core.Env` (serial
+    collection) or a :class:`~repro.runtime.vec_env.VectorEnv`, in which
+    case each iteration's batch is filled from all lanes with batched
+    policy forwards (same total sample count per iteration).
+    """
+
+    def __init__(self, env: Env | VectorEnv, config: AttackConfig, regularizer=None,
                  name: str = "attack"):
         self.env = env
         self.config = config
@@ -140,6 +147,13 @@ class AdversaryTrainer:
         self._best_asr = -1.0
         self._best_state: dict | None = None
 
+    def _collect(self, n_steps: int) -> AdversaryRollout:
+        if isinstance(self.env, VectorEnv):
+            from ..runtime.collector import collect_adversary_rollout_vec
+
+            return collect_adversary_rollout_vec(self.env, self.policy, n_steps, self.rng)
+        return collect_adversary_rollout(self.env, self.policy, n_steps, self.rng)
+
     def _bias_reduction_step(self, j_ap: float) -> None:
         """λ_{k+1} = max(0, λ_k − η (J_k+1 − J_k)); τ = 1/(1+λ) (Eq. 16-17)."""
         if self._prev_j_ap is not None:
@@ -152,9 +166,7 @@ class AdversaryTrainer:
         self.env.seed(cfg.seed)
         history: list[dict[str, float]] = []
         for iteration in range(cfg.iterations):
-            rollout = collect_adversary_rollout(
-                self.env, self.policy, cfg.steps_per_iteration, self.rng
-            )
+            rollout = self._collect(cfg.steps_per_iteration)
             intrinsic = None
             if self.regularizer is not None:
                 intrinsic = self.regularizer.compute(rollout, self.policy)

@@ -10,6 +10,7 @@ from .runner import (
     attack_config_for,
     evaluate_cell,
     game_victim_for,
+    make_adversary_env,
     parse_attack_name,
     train_game_attack,
     train_single_agent_attack,
@@ -24,6 +25,7 @@ __all__ = [
     "ExperimentScale", "SCALES", "current_scale",
     "ATTACK_NAMES", "parse_attack_name",
     "victim_for", "game_victim_for", "attack_config_for",
+    "make_adversary_env",
     "train_single_agent_attack", "train_game_attack", "evaluate_cell",
     "run_table1", "Table1Result", "TABLE1_ATTACKS", "TABLE1_DEFENSES",
     "run_table2", "Table2Result", "TABLE2_ATTACKS",

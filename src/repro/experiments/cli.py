@@ -6,12 +6,19 @@ Examples::
     python -m repro.experiments table2 --scale short
     python -m repro.experiments fig5 --scale short --games YouShallNotPass-v0
     python -m repro.experiments fig6 fig7 --scale smoke
+    python -m repro.experiments table1 fig4 fig6 --jobs 3
+
+``--jobs N`` runs the requested experiments as independent cells on the
+process-pool scheduler (:mod:`repro.runtime.scheduler`); output is still
+printed in request order, and a crashed experiment is reported without
+aborting the others.
 """
 
 from __future__ import annotations
 
 import argparse
 
+from ..runtime import Job, run_parallel
 from .config import SCALES
 from .fig4 import run_fig4
 from .fig5 import run_fig5
@@ -21,7 +28,9 @@ from .table1 import run_table1
 from .table2 import run_table2
 from .table3 import br_improvement_count, render_table3, run_table3
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "run_experiment"]
+
+EXPERIMENT_NAMES = ["table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,13 +38,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("what", nargs="+",
-                        choices=["table1", "table2", "table3",
-                                 "fig4", "fig5", "fig6", "fig7"],
+    parser.add_argument("what", nargs="+", choices=EXPERIMENT_NAMES,
                         help="which experiments to run")
     parser.add_argument("--scale", default="smoke", choices=sorted(SCALES),
                         help="budget preset (default: smoke)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run the requested experiments on a process pool "
+                             "of this many workers (default 1: sequential)")
     parser.add_argument("--envs", nargs="*", default=None,
                         help="restrict single-agent experiments to these env ids")
     parser.add_argument("--games", nargs="*", default=None,
@@ -45,38 +55,62 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def run_experiment(what: str, scale_name: str, seed: int = 0,
+                   envs: list[str] | None = None, games: list[str] | None = None,
+                   attacks: list[str] | None = None) -> str:
+    """Run one experiment and return its rendered text output.
+
+    Top-level and string-in/string-out so the process-pool scheduler can
+    ship it to a worker.
+    """
+    scale = SCALES[scale_name]
+    if what == "table1":
+        result = run_table1(env_ids=envs, attacks=attacks, scale=scale, seed=seed)
+        return result.render(attacks=attacks) if attacks else result.render()
+    if what == "table2":
+        result = run_table2(env_ids=envs, attacks=attacks, scale=scale, seed=seed)
+        return result.render()
+    if what == "table3":
+        result = run_table3(env_ids=envs, scale=scale, seed=seed)
+        improved, total = br_improvement_count(result)
+        return (render_table3(result)
+                + f"\nBR improves some IMAP variant on {improved}/{total} tasks")
+    if what == "fig4":
+        figures = run_fig4(env_ids=envs, attacks=attacks, scale=scale, seed=seed)
+        return "\n".join(figure.render(y_name="victim success")
+                         for figure in figures.values())
+    if what == "fig5":
+        out = run_fig5(game_ids=games, scale=scale, seed=seed)
+        return "\n".join(data["curves"].render(y_name="asr") for data in out.values())
+    if what == "fig6":
+        out = run_fig6(scale=scale, seed=seed)
+        return out["curves"].render(y_name="victim success")
+    if what == "fig7":
+        out = run_fig7(scale=scale, seed=seed)
+        return out["curves"].render(y_name="asr")
+    raise ValueError(f"unknown experiment {what!r}; options: {EXPERIMENT_NAMES}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     scale = SCALES[args.scale]
+    if args.jobs > 1 and len(args.what) > 1:
+        jobs = [Job(fn=run_experiment,
+                    args=(what, args.scale, args.seed,
+                          args.envs, args.games, args.attacks),
+                    name=what)
+                for what in args.what]
+        report = run_parallel(jobs, max_workers=args.jobs)
+        for what, result in zip(args.what, report.results):
+            print(f"\n##### {what} (scale={scale.name}) #####\n", flush=True)
+            if result.ok:
+                print(result.value)
+            else:
+                print(f"FAILED: {result.error}\n{result.traceback}")
+        print(f"\n[scheduler] {report.summary()}", flush=True)
+        return 1 if report.n_failed else 0
     for what in args.what:
         print(f"\n##### {what} (scale={scale.name}) #####\n", flush=True)
-        if what == "table1":
-            result = run_table1(env_ids=args.envs, attacks=args.attacks,
-                                scale=scale, seed=args.seed)
-            print(result.render(attacks=args.attacks) if args.attacks
-                  else result.render())
-        elif what == "table2":
-            result = run_table2(env_ids=args.envs, attacks=args.attacks,
-                                scale=scale, seed=args.seed)
-            print(result.render())
-        elif what == "table3":
-            result = run_table3(env_ids=args.envs, scale=scale, seed=args.seed)
-            print(render_table3(result))
-            improved, total = br_improvement_count(result)
-            print(f"BR improves some IMAP variant on {improved}/{total} tasks")
-        elif what == "fig4":
-            figures = run_fig4(env_ids=args.envs, attacks=args.attacks,
-                               scale=scale, seed=args.seed)
-            for figure in figures.values():
-                print(figure.render(y_name="victim success"))
-        elif what == "fig5":
-            out = run_fig5(game_ids=args.games, scale=scale, seed=args.seed)
-            for data in out.values():
-                print(data["curves"].render(y_name="asr"))
-        elif what == "fig6":
-            out = run_fig6(scale=scale, seed=args.seed)
-            print(out["curves"].render(y_name="victim success"))
-        elif what == "fig7":
-            out = run_fig7(scale=scale, seed=args.seed)
-            print(out["curves"].render(y_name="asr"))
+        print(run_experiment(what, args.scale, seed=args.seed, envs=args.envs,
+                             games=args.games, attacks=args.attacks))
     return 0

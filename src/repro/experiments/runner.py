@@ -21,13 +21,14 @@ from ..defenses import DefenseTrainConfig
 from ..envs import make, make_game
 from ..eval import AttackEvaluation, evaluate_game, evaluate_single_agent
 from ..rl.policy import ActorCritic
+from ..runtime import SyncVectorEnv
 from ..zoo import get_game_victim, get_victim
 from .config import ExperimentScale
 
 __all__ = [
     "ATTACK_NAMES", "parse_attack_name", "victim_for", "game_victim_for",
-    "attack_config_for", "train_single_agent_attack", "train_game_attack",
-    "evaluate_cell",
+    "attack_config_for", "make_adversary_env", "train_single_agent_attack",
+    "train_game_attack", "evaluate_cell",
 ]
 
 ATTACK_NAMES = [
@@ -83,16 +84,36 @@ def attack_config_for(scale: ExperimentScale, seed: int, **overrides) -> AttackC
     return replace(config, **overrides) if overrides else config
 
 
+def make_adversary_env(env_id: str, victim: ActorCritic, epsilon: float,
+                       seed: int = 0, n_envs: int = 1):
+    """Single-agent adversary MDP; ``n_envs > 1`` returns a SyncVectorEnv.
+
+    Lane seeds are derived from ``seed`` inside the vector env (see
+    :mod:`repro.runtime.vec_env`); the trainer re-seeds it with the
+    attack config's seed before collecting.
+    """
+    def one(lane_seed: int) -> StatePerturbationEnv:
+        return StatePerturbationEnv(make(env_id), victim, epsilon=epsilon, seed=lane_seed)
+
+    if n_envs <= 1:
+        return one(seed)
+    return SyncVectorEnv([one(seed + i) for i in range(n_envs)])
+
+
 def train_single_agent_attack(env_id: str, victim: ActorCritic, attack: str,
                               scale: ExperimentScale, seed: int = 0,
-                              epsilon: float | None = None,
+                              epsilon: float | None = None, n_envs: int = 1,
                               callback=None, **config_overrides) -> AttackResult | None:
-    """Train one attack against one victim; None for non-learned attacks."""
+    """Train one attack against one victim; None for non-learned attacks.
+
+    ``n_envs > 1`` collects each PPO batch from that many env copies via
+    the vectorized rollout collector (same samples per iteration).
+    """
     spec = parse_attack_name(attack)
     epsilon = default_epsilon(env_id) if epsilon is None else epsilon
     if spec["family"] == "random":
         return None
-    adv_env = StatePerturbationEnv(make(env_id), victim, epsilon=epsilon, seed=seed)
+    adv_env = make_adversary_env(env_id, victim, epsilon, seed=seed, n_envs=n_envs)
     config = attack_config_for(scale, seed, **config_overrides)
     if spec["family"] == "sarl":
         return train_sarl(adv_env, config, callback=callback)

@@ -83,6 +83,20 @@ class Tensor:
     def __repr__(self) -> str:
         return f"Tensor({self.data!r}, requires_grad={self.requires_grad})"
 
+    # With __slots__ there is no __dict__; pickle through an explicit
+    # state that drops the gradient tape (closures aren't picklable, and
+    # a tensor shipped to another process is detached by construction).
+    def __getstate__(self):
+        return {"data": self.data, "grad": self.grad,
+                "requires_grad": self.requires_grad}
+
+    def __setstate__(self, state) -> None:
+        self.data = state["data"]
+        self.grad = state.get("grad")
+        self.requires_grad = bool(state.get("requires_grad", False))
+        self._backward = None
+        self._parents = ()
+
     def numpy(self) -> np.ndarray:
         """Return the underlying array (detached view)."""
         return self.data

@@ -90,17 +90,37 @@ class Linear(Module):
         return x @ self.weight + self.bias
 
 
+# Module-level (not lambdas) so modules stay picklable — the process-pool
+# scheduler ships policies across worker boundaries.
+def _tanh(t: Tensor) -> Tensor:
+    return t.tanh()
+
+
+def _relu(t: Tensor) -> Tensor:
+    return t.relu()
+
+
+def _sigmoid(t: Tensor) -> Tensor:
+    return t.sigmoid()
+
+
+def _identity(t: Tensor) -> Tensor:
+    return t
+
+
+_ACTIVATIONS = {
+    "tanh": _tanh,
+    "relu": _relu,
+    "sigmoid": _sigmoid,
+    "identity": _identity,
+}
+
+
 def activation(name: str):
     """Look up an activation by name; returns a callable Tensor -> Tensor."""
-    table = {
-        "tanh": lambda t: t.tanh(),
-        "relu": lambda t: t.relu(),
-        "sigmoid": lambda t: t.sigmoid(),
-        "identity": lambda t: t,
-    }
-    if name not in table:
-        raise ValueError(f"unknown activation {name!r}; options: {sorted(table)}")
-    return table[name]
+    if name not in _ACTIVATIONS:
+        raise ValueError(f"unknown activation {name!r}; options: {sorted(_ACTIVATIONS)}")
+    return _ACTIVATIONS[name]
 
 
 class MLP(Module):

@@ -70,6 +70,37 @@ class ActorCritic(nn.Module):
             )
         return action, log_prob, value_e, value_i, normalized
 
+    def act_batch(self, obs: np.ndarray, rng: np.random.Generator,
+                  deterministic: bool = False, update_normalizer: bool = False):
+        """Batched rollout action for vectorized envs.
+
+        ``obs`` has shape (n_envs, obs_dim); returns ``(actions,
+        log_probs, values_e, values_i, normalized_obs)`` with a leading
+        n_envs axis each.  A batch of one routes through :meth:`act` so
+        the forward pass and RNG draws are bit-identical to the serial
+        rollout path (the n_envs=1 parity guarantee).
+        """
+        obs = np.asarray(obs, dtype=np.float64)
+        if obs.ndim != 2:
+            raise ValueError(f"act_batch expects (n_envs, obs_dim), got {obs.shape}")
+        if obs.shape[0] == 1:
+            action, log_prob, value_e, value_i, normalized = self.act(
+                obs[0], rng, deterministic=deterministic,
+                update_normalizer=update_normalizer)
+            return (action[None].copy(), np.array([log_prob]),
+                    np.array([value_e]), np.array([value_i]), normalized[None].copy())
+        normalized = self.normalize(obs, update=update_normalizer)
+        with nn.no_grad():
+            dist = self.distribution(normalized)
+            actions = dist.mode() if deterministic else dist.sample(rng)
+            log_probs = dist.log_prob(actions).data.copy()
+            values_e = self.critic(normalized).data.reshape(-1).copy()
+            values_i = (
+                self.critic_intrinsic(normalized).data.reshape(-1).copy()
+                if self.dual_value else np.zeros(obs.shape[0])
+            )
+        return actions, log_probs, values_e, values_i, normalized
+
     def action(self, obs: np.ndarray, rng: np.random.Generator,
                deterministic: bool = False) -> np.ndarray:
         """Convenience: just the action (used for deployed/fixed policies)."""

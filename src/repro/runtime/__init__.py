@@ -1,0 +1,30 @@
+"""Parallel execution runtime: vectorized envs, batched rollout
+collection, and a process-pool experiment scheduler.
+
+Layering (each layer usable on its own):
+
+1. :mod:`~repro.runtime.vec_env` — ``VectorEnv``/``SyncVectorEnv`` step
+   N seeded env copies in lockstep with auto-reset.
+2. :mod:`~repro.runtime.collector` — ``collect_adversary_rollout_vec``
+   fills one training batch from N lanes with batched policy forwards;
+   bit-identical to the serial collector at ``n_envs=1``.
+3. :mod:`~repro.runtime.scheduler` — ``run_parallel`` executes whole
+   experiment cells on a process pool with structured failure capture
+   and ``SeedSequence``-derived per-job seeds.
+"""
+
+from .collector import collect_adversary_rollout_vec, knn_feature
+from .scheduler import (
+    Job,
+    JobResult,
+    ScheduleReport,
+    derive_job_seeds,
+    run_parallel,
+)
+from .vec_env import LANE_SEED_STRIDE, SyncVectorEnv, VectorEnv
+
+__all__ = [
+    "VectorEnv", "SyncVectorEnv", "LANE_SEED_STRIDE",
+    "collect_adversary_rollout_vec", "knn_feature",
+    "Job", "JobResult", "ScheduleReport", "run_parallel", "derive_job_seeds",
+]

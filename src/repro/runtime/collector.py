@@ -1,0 +1,143 @@
+"""Vectorized rollout collection: N lanes filling one training batch.
+
+Drop-in replacement for
+:func:`repro.attacks.trainer.collect_adversary_rollout` that drives a
+:class:`~repro.runtime.vec_env.VectorEnv` with batched policy calls.
+Each lane keeps its own :class:`~repro.rl.buffers.RolloutBuffer` and
+episode accounting; the final batch is assembled lane-major (lane 0's
+block first) so GAE's flow-through bootstrap stays within one
+trajectory.  Lane boundaries that don't coincide with an episode end are
+marked as truncations with an explicitly bootstrapped value — exactly
+how the serial collector treats the end of its buffer.
+
+Parity guarantee: with ``n_envs == 1`` and the same seeds, the returned
+:class:`~repro.attacks.base.AdversaryRollout` is bit-identical to the
+serial collector's (policy forwards, RNG draws, and normalizer updates
+happen in the same order on the same shapes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attacks.base import AdversaryRollout, knn_feature
+from ..rl.buffers import RolloutBuffer
+from ..rl.policy import ActorCritic
+from .vec_env import VectorEnv
+
+__all__ = ["collect_adversary_rollout_vec", "knn_feature"]
+
+
+class _Lane:
+    """Per-lane rollout storage and episode accounting."""
+
+    __slots__ = ("buffer", "knn_victim", "knn_adversary", "episode_rewards",
+                 "episode_victim_rewards", "episode_successes",
+                 "ep_reward", "ep_victim", "ep_success")
+
+    def __init__(self, capacity: int, obs_dim: int, action_dim: int):
+        self.buffer = RolloutBuffer(capacity, obs_dim, action_dim)
+        self.knn_victim: list[np.ndarray] = []
+        self.knn_adversary: list[np.ndarray] = []
+        self.episode_rewards: list[float] = []
+        self.episode_victim_rewards: list[float] = []
+        self.episode_successes: list[bool] = []
+        self.ep_reward = 0.0
+        self.ep_victim = 0.0
+        self.ep_success = False
+
+    def finish_episode(self) -> None:
+        self.episode_rewards.append(self.ep_reward)
+        self.episode_victim_rewards.append(self.ep_victim)
+        self.episode_successes.append(self.ep_success)
+        self.ep_reward, self.ep_victim, self.ep_success = 0.0, 0.0, False
+
+
+def collect_adversary_rollout_vec(vec_env: VectorEnv, policy: ActorCritic,
+                                  n_steps: int, rng: np.random.Generator,
+                                  update_normalizer: bool = True) -> AdversaryRollout:
+    """Collect ``n_steps`` of experience split evenly across the lanes."""
+    n_envs = vec_env.num_envs
+    if n_steps % n_envs != 0:
+        raise ValueError(
+            f"n_steps={n_steps} must be divisible by n_envs={n_envs} "
+            "so every lane contributes a full block")
+    steps_per_lane = n_steps // n_envs
+    obs_dim = vec_env.observation_space.shape[0]
+    action_dim = vec_env.action_space.shape[0]
+    lanes = [_Lane(steps_per_lane, obs_dim, action_dim) for _ in range(n_envs)]
+
+    obs = vec_env.reset()
+    for _ in range(steps_per_lane):
+        actions, log_probs, values_e, values_i, normalized = policy.act_batch(
+            obs, rng, update_normalizer=update_normalizer
+        )
+        next_obs, rewards, terminated, truncated, infos = vec_env.step(actions)
+        for i, lane in enumerate(lanes):
+            done = bool(terminated[i] or truncated[i])
+            lane.ep_reward += float(rewards[i])
+            lane.ep_victim += float(infos[i].get("victim_reward", 0.0))
+            lane.ep_success = lane.ep_success or bool(infos[i].get("success", False))
+            lane.buffer.add(normalized[i], actions[i], log_probs[i], rewards[i],
+                            values_e[i], values_i[i],
+                            done=done, terminated=bool(terminated[i]))
+            lane.knn_victim.append(knn_feature(infos[i], "knn_victim", obs_dim))
+            lane.knn_adversary.append(knn_feature(infos[i], "knn_adversary", obs_dim))
+            if done:
+                lane.finish_episode()
+        # Bootstrap truncated episodes from their final (pre-reset) obs in
+        # one batched call, in lane order (matches the serial RNG order).
+        trunc_lanes = [i for i in range(n_envs) if truncated[i] and not terminated[i]]
+        if trunc_lanes:
+            final_obs = np.stack([infos[i]["final_obs"] for i in trunc_lanes])
+            _, _, boot_e, boot_i, _ = policy.act_batch(final_obs, rng)
+            for j, i in enumerate(trunc_lanes):
+                lanes[i].buffer.set_bootstrap(lanes[i].buffer.ptr - 1,
+                                              boot_e[j], boot_i[j])
+        obs = next_obs
+
+    # Lanes whose last step didn't end an episode bootstrap from the
+    # current observation (the serial collector's buffer-end bootstrap).
+    open_lanes = [i for i in range(n_envs)
+                  if lanes[i].buffer.dones[steps_per_lane - 1] < 0.5]
+    if open_lanes:
+        _, _, boot_e, boot_i, _ = policy.act_batch(obs[open_lanes], rng)
+        for j, i in enumerate(open_lanes):
+            lanes[i].buffer.set_bootstrap(steps_per_lane - 1, boot_e[j], boot_i[j])
+
+    return _assemble(lanes, steps_per_lane)
+
+
+def _assemble(lanes: list[_Lane], steps_per_lane: int) -> AdversaryRollout:
+    """Concatenate lane blocks into one flat AdversaryRollout."""
+    dones_blocks = []
+    for i, lane in enumerate(lanes):
+        dones = lane.buffer.dones[:steps_per_lane].copy()
+        # Interior lane boundaries become truncations so GAE never flows
+        # from one lane's block into the next.  The last lane's end is
+        # left untouched: downstream GAE forces a boundary there anyway,
+        # which also keeps the n_envs=1 arrays bit-identical to serial.
+        if i < len(lanes) - 1 and dones[-1] < 0.5:
+            dones[-1] = 1.0
+        dones_blocks.append(dones)
+
+    def cat(field: str) -> np.ndarray:
+        return np.concatenate([getattr(l.buffer, field)[:steps_per_lane] for l in lanes])
+
+    return AdversaryRollout(
+        obs=cat("obs").copy(),
+        actions=cat("actions").copy(),
+        log_probs=cat("log_probs").copy(),
+        rewards=cat("rewards_e").copy(),
+        values_e=cat("values_e").copy(),
+        values_i=cat("values_i").copy(),
+        dones=np.concatenate(dones_blocks),
+        terminated=cat("terminated").copy(),
+        bootstrap_e=cat("bootstrap_e").copy(),
+        bootstrap_i=cat("bootstrap_i").copy(),
+        knn_victim=np.asarray([f for l in lanes for f in l.knn_victim]),
+        knn_adversary=np.asarray([f for l in lanes for f in l.knn_adversary]),
+        episode_rewards=[r for l in lanes for r in l.episode_rewards],
+        episode_victim_rewards=[r for l in lanes for r in l.episode_victim_rewards],
+        episode_successes=[s for l in lanes for s in l.episode_successes],
+    )

@@ -1,0 +1,154 @@
+"""Process-pool experiment scheduler.
+
+Experiment grids (attacks × victims × seeds) are embarrassingly
+parallel: every cell is a pure function of its arguments and its seed.
+:func:`run_parallel` executes a list of :class:`Job`\\ s on a
+``ProcessPoolExecutor``, capturing per-job wall clock and turning worker
+crashes into structured :class:`JobResult` errors instead of killing the
+sweep.  ``max_workers <= 1`` runs the jobs inline in the parent process
+(bit-identical to the pre-scheduler sequential code path).
+
+Seed derivation for sweeps uses ``np.random.SeedSequence`` so job seeds
+are statistically independent regardless of how the grid is enumerated
+(``derive_job_seeds``).  Jobs with an explicit ``seed`` get it injected
+as a ``seed=`` keyword argument.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Job", "JobResult", "ScheduleReport", "run_parallel", "derive_job_seeds"]
+
+
+def derive_job_seeds(base_seed: int, n_jobs: int) -> list[int]:
+    """Independent per-job seeds via ``SeedSequence.spawn`` (not ``base+i``)."""
+    children = np.random.SeedSequence(base_seed).spawn(n_jobs)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+@dataclass
+class Job:
+    """One schedulable unit of work: ``fn(*args, **kwargs)`` in a worker."""
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    name: str = ""
+    seed: int | None = None  # injected as kwargs["seed"] when set
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: either ``value`` or a captured error."""
+
+    name: str
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    traceback: str | None = None
+    duration: float = 0.0
+
+
+@dataclass
+class ScheduleReport:
+    """Ordered job results plus wall-clock/throughput statistics."""
+
+    results: list[JobResult]
+    wall_clock: float
+    max_workers: int
+
+    @property
+    def n_failed(self) -> int:
+        return sum(not r.ok for r in self.results)
+
+    @property
+    def failures(self) -> list[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def total_job_time(self) -> float:
+        """Sum of per-job durations (the sequential-equivalent wall clock)."""
+        return float(sum(r.duration for r in self.results))
+
+    @property
+    def speedup(self) -> float:
+        """total_job_time / wall_clock — parallel efficiency × workers."""
+        return self.total_job_time / self.wall_clock if self.wall_clock > 0 else 0.0
+
+    def values(self) -> list[Any]:
+        """Job values in submission order (``None`` for failed jobs)."""
+        return [r.value if r.ok else None for r in self.results]
+
+    def summary(self) -> str:
+        ok = len(self.results) - self.n_failed
+        return (f"{ok}/{len(self.results)} jobs ok in {self.wall_clock:.1f}s "
+                f"wall ({self.total_job_time:.1f}s of work, "
+                f"{self.speedup:.2f}x speedup, {self.max_workers} workers)")
+
+
+def _execute_job(job: Job) -> JobResult:
+    """Run one job, converting any exception into a structured error."""
+    start = time.perf_counter()
+    try:
+        kwargs = dict(job.kwargs)
+        if job.seed is not None and "seed" not in kwargs:
+            kwargs["seed"] = job.seed
+        value = job.fn(*job.args, **kwargs)
+        return JobResult(name=job.name, ok=True, value=value,
+                         duration=time.perf_counter() - start)
+    except Exception as exc:  # noqa: BLE001 — a cell failure must not kill the sweep
+        return JobResult(name=job.name, ok=False,
+                         error=f"{type(exc).__name__}: {exc}",
+                         traceback=traceback.format_exc(),
+                         duration=time.perf_counter() - start)
+
+
+def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
+                 mp_context=None) -> ScheduleReport:
+    """Execute ``jobs`` and return per-job results in submission order.
+
+    ``max_workers <= 1`` (or a single job) runs inline — no processes, no
+    pickling, identical to a plain for-loop.  Otherwise jobs are farmed
+    out to a process pool; a job that raises, fails to pickle, or loses
+    its worker is reported as a failed :class:`JobResult` while the rest
+    of the sweep completes.
+    """
+    jobs = list(jobs)
+    start = time.perf_counter()
+    if max_workers <= 1 or len(jobs) <= 1:
+        results = [_execute_job(job) for job in jobs]
+        return ScheduleReport(results=results, wall_clock=time.perf_counter() - start,
+                              max_workers=1)
+
+    if isinstance(mp_context, str):
+        import multiprocessing
+
+        mp_context = multiprocessing.get_context(mp_context)
+    results: list[JobResult | None] = [None] * len(jobs)
+    with ProcessPoolExecutor(max_workers=min(max_workers, len(jobs)),
+                             mp_context=mp_context) as pool:
+        futures = {}
+        for i, job in enumerate(jobs):
+            try:
+                futures[pool.submit(_execute_job, job)] = i
+            except Exception as exc:  # unpicklable job, pool already broken, ...
+                results[i] = JobResult(name=job.name, ok=False,
+                                       error=f"{type(exc).__name__}: {exc}",
+                                       traceback=traceback.format_exc())
+        for future, i in futures.items():
+            try:
+                results[i] = future.result()
+            except Exception as exc:  # worker death (BrokenProcessPool), pickling
+                results[i] = JobResult(name=jobs[i].name, ok=False,
+                                       error=f"{type(exc).__name__}: {exc}",
+                                       traceback=traceback.format_exc())
+    return ScheduleReport(results=[r for r in results if r is not None],
+                          wall_clock=time.perf_counter() - start,
+                          max_workers=max_workers)
