@@ -7,6 +7,8 @@ Runs in about two minutes on a laptop:
 
 from __future__ import annotations
 
+import math
+
 from repro import envs
 from repro.attacks import AttackConfig, StatePerturbationEnv, default_epsilon, train_imap
 from repro.eval import evaluate_single_agent
@@ -19,8 +21,11 @@ def main() -> None:
 
     # 1. Train a victim with vanilla PPO and freeze it for deployment.
     print(f"Training a PPO victim on {env_id} ...")
-    victim = train_ppo(envs.make(env_id), TrainConfig(iterations=30, seed=1)).policy
+    result = train_ppo(envs.make(env_id), TrainConfig(iterations=30, seed=1))
+    victim = result.policy
     victim.freeze_normalizer()
+    if not math.isnan(result.final_return):  # nan = zero-iteration run
+        print(f"  final training return: {result.final_return:.2f}")
 
     clean = evaluate_single_agent(envs.make(env_id), victim, None, episodes=20)
     print(f"  clean performance: {clean.summary()}")

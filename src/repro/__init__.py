@@ -10,6 +10,8 @@ Public entry points:
 * :mod:`repro.zoo`      — cached victim checkpoints
 * :mod:`repro.eval`     — attack-evaluation harness and table renderers
 * :mod:`repro.experiments` — per-table/figure experiment runners
+* :mod:`repro.runtime`  — vectorized envs + process-pool scheduler
+* :mod:`repro.telemetry` — run manifests, metrics, JSONL event logs
 """
 
 __version__ = "1.0.0"

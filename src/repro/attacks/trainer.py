@@ -16,15 +16,44 @@ from ..rl.buffers import RolloutBuffer
 from ..rl.policy import ActorCritic
 from ..rl.ppo import PPOUpdater
 from ..runtime.vec_env import VectorEnv
+from ..telemetry import current_telemetry
 from .base import AdversaryRollout, AttackConfig, AttackResult, knn_feature
 
-__all__ = ["collect_adversary_rollout", "AdversaryTrainer"]
+__all__ = ["collect_adversary_rollout", "AdversaryTrainer", "record_rollout_telemetry"]
+
+
+def record_rollout_telemetry(telemetry, rollout: AdversaryRollout,
+                             seconds: float, collector: str) -> None:
+    """Shared rollout instrumentation for the serial and vectorized collectors.
+
+    The event payload holds only seed-deterministic episode statistics;
+    steps/sec and the collector flavour live under ``perf`` so serial and
+    ``n_envs=1`` vectorized runs produce identical payloads.
+    """
+    n = len(rollout)
+    telemetry.metrics.observe_duration("rollout.collect", seconds)
+    telemetry.metrics.counter("rollout.steps").inc(n)
+    telemetry.metrics.counter("rollout.episodes").inc(len(rollout.episode_rewards))
+    telemetry.event("rollout.complete", payload={
+        "steps": n,
+        "episodes": len(rollout.episode_rewards),
+        "j_ap": rollout.j_ap,
+        "victim_success_rate": rollout.victim_success_rate,
+        "mean_victim_reward": (float(np.mean(rollout.episode_victim_rewards))
+                               if rollout.episode_victim_rewards else 0.0),
+    }, perf={
+        "seconds": seconds,
+        "steps_per_s": n / seconds if seconds > 0 else float("inf"),
+        "collector": collector,
+    })
 
 
 def collect_adversary_rollout(env: Env, policy: ActorCritic, n_steps: int,
                               rng: np.random.Generator,
-                              update_normalizer: bool = True) -> AdversaryRollout:
+                              update_normalizer: bool = True,
+                              telemetry=None) -> AdversaryRollout:
     """Collect ``n_steps`` of adversary experience, tracking KNN features."""
+    start = telemetry.clock.perf() if telemetry is not None else 0.0
     obs_dim = env.observation_space.shape[0]
     action_dim = env.action_space.shape[0]
     buffer = RolloutBuffer(n_steps, obs_dim, action_dim)
@@ -66,7 +95,7 @@ def collect_adversary_rollout(env: Env, policy: ActorCritic, n_steps: int,
                 buffer.set_bootstrap(index, be, bi)
 
     n = buffer.ptr
-    return AdversaryRollout(
+    rollout = AdversaryRollout(
         obs=buffer.obs[:n].copy(),
         actions=buffer.actions[:n].copy(),
         log_probs=buffer.log_probs[:n].copy(),
@@ -83,6 +112,10 @@ def collect_adversary_rollout(env: Env, policy: ActorCritic, n_steps: int,
         episode_victim_rewards=episode_victim_rewards,
         episode_successes=episode_successes,
     )
+    if telemetry is not None:
+        record_rollout_telemetry(telemetry, rollout,
+                                 telemetry.clock.perf() - start, "serial")
+    return rollout
 
 
 def _rollout_to_batch(rollout: AdversaryRollout, intrinsic: np.ndarray | None,
@@ -126,11 +159,12 @@ class AdversaryTrainer:
     """
 
     def __init__(self, env: Env | VectorEnv, config: AttackConfig, regularizer=None,
-                 name: str = "attack"):
+                 name: str = "attack", telemetry=None):
         self.env = env
         self.config = config
         self.regularizer = regularizer
         self.name = name
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
         rng_init = np.random.default_rng(config.seed)
         self.policy = ActorCritic(
             env.observation_space.shape[0],
@@ -139,7 +173,7 @@ class AdversaryTrainer:
             dual_value=regularizer is not None and not config.single_value_head,
             rng=rng_init,
         )
-        self.updater = PPOUpdater(self.policy, config.ppo)
+        self.updater = PPOUpdater(self.policy, config.ppo, telemetry=self.telemetry)
         self.rng = np.random.default_rng(config.seed + 7)
         self.tau = config.tau0 if regularizer is not None else 0.0
         self._lambda = 0.0
@@ -151,8 +185,10 @@ class AdversaryTrainer:
         if isinstance(self.env, VectorEnv):
             from ..runtime.collector import collect_adversary_rollout_vec
 
-            return collect_adversary_rollout_vec(self.env, self.policy, n_steps, self.rng)
-        return collect_adversary_rollout(self.env, self.policy, n_steps, self.rng)
+            return collect_adversary_rollout_vec(self.env, self.policy, n_steps,
+                                                 self.rng, telemetry=self.telemetry)
+        return collect_adversary_rollout(self.env, self.policy, n_steps, self.rng,
+                                         telemetry=self.telemetry)
 
     def _bias_reduction_step(self, j_ap: float) -> None:
         """λ_{k+1} = max(0, λ_k − η (J_k+1 − J_k)); τ = 1/(1+λ) (Eq. 16-17)."""
@@ -163,13 +199,18 @@ class AdversaryTrainer:
 
     def train(self, callback=None) -> AttackResult:
         cfg = self.config
+        telemetry = self.telemetry
         self.env.seed(cfg.seed)
         history: list[dict[str, float]] = []
         for iteration in range(cfg.iterations):
             rollout = self._collect(cfg.steps_per_iteration)
             intrinsic = None
             if self.regularizer is not None:
-                intrinsic = self.regularizer.compute(rollout, self.policy)
+                if telemetry is not None:
+                    with telemetry.timer("attack.knn_bonus"):
+                        intrinsic = self.regularizer.compute(rollout, self.policy)
+                else:
+                    intrinsic = self.regularizer.compute(rollout, self.policy)
                 intrinsic = self._standardize(intrinsic) * cfg.intrinsic_reward_scale
             if cfg.single_value_head and intrinsic is not None:
                 # ablation: one mixed-reward channel instead of Eq. 14's
@@ -182,7 +223,11 @@ class AdversaryTrainer:
                                           cfg.ppo.gae_lambda)
                 diag = self.updater.update(batch, tau=self.tau, rng=self.rng)
             if self.regularizer is not None:
-                self.regularizer.after_update(rollout, self.policy)
+                if telemetry is not None:
+                    with telemetry.timer("attack.knn_buffers"):
+                        self.regularizer.after_update(rollout, self.policy)
+                else:
+                    self.regularizer.after_update(rollout, self.policy)
             if cfg.use_bias_reduction and self.regularizer is not None:
                 self._bias_reduction_step(rollout.j_ap)
             record = {
@@ -200,6 +245,18 @@ class AdversaryTrainer:
                 **diag,
             }
             history.append(record)
+            if telemetry is not None:
+                metrics = telemetry.metrics
+                metrics.gauge("attack.asr").set(record["asr"])
+                metrics.gauge("attack.tau").set(record["tau"])
+                telemetry.event("attack.iteration", payload={
+                    "name": self.name, **record,
+                }, perf={
+                    "rollout_s": metrics.ewma("rollout.collect").ewma,
+                    "update_s": metrics.ewma("ppo.update").ewma,
+                    "knn_bonus_s": (metrics.ewma("attack.knn_bonus").ewma
+                                    if self.regularizer is not None else None),
+                })
             if cfg.select_best and len(rollout.episode_successes) >= 3:
                 asr = record["asr"]
                 if asr >= self._best_asr:

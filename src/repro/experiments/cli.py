@@ -12,13 +12,22 @@ Examples::
 process-pool scheduler (:mod:`repro.runtime.scheduler`); output is still
 printed in request order, and a crashed experiment is reported without
 aborting the others.
+
+``--telemetry-dir DIR`` records the run: ``DIR/manifest.json`` (config,
+seeds, package versions, wall clock, exit status, per-job crash records)
+plus ``DIR/events.jsonl`` (per-iteration training events with
+rollout/update/KNN timings).  Off by default — without the flag the hot
+paths run uninstrumented at full speed.  With ``--jobs > 1`` worker
+processes run untelemetered; the parent still records per-job events.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 
 from ..runtime import Job, run_parallel
+from ..telemetry import Telemetry, use_telemetry
 from .config import SCALES
 from .fig4 import run_fig4
 from .fig5 import run_fig5
@@ -52,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="restrict game experiments to these game ids")
     parser.add_argument("--attacks", nargs="*", default=None,
                         help="restrict to these attack names")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="write a run manifest (manifest.json) and JSONL "
+                             "event log (events.jsonl) under DIR; default off")
     return parser
 
 
@@ -91,26 +103,60 @@ def run_experiment(what: str, scale_name: str, seed: int = 0,
     raise ValueError(f"unknown experiment {what!r}; options: {EXPERIMENT_NAMES}")
 
 
+def _make_telemetry(args) -> Telemetry | None:
+    if args.telemetry_dir is None:
+        return None
+    return Telemetry.to_dir(
+        args.telemetry_dir,
+        run_id=f"{'-'.join(args.what)}-{args.scale}-seed{args.seed}",
+        experiment={
+            "what": args.what, "scale": args.scale, "jobs": args.jobs,
+            "envs": args.envs, "games": args.games, "attacks": args.attacks,
+        },
+        seeds=[args.seed],
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     scale = SCALES[args.scale]
-    if args.jobs > 1 and len(args.what) > 1:
-        jobs = [Job(fn=run_experiment,
-                    args=(what, args.scale, args.seed,
-                          args.envs, args.games, args.attacks),
-                    name=what)
-                for what in args.what]
-        report = run_parallel(jobs, max_workers=args.jobs)
-        for what, result in zip(args.what, report.results):
-            print(f"\n##### {what} (scale={scale.name}) #####\n", flush=True)
-            if result.ok:
-                print(result.value)
+    telemetry = _make_telemetry(args)
+    # Ambient installation: trainers and collectors buried under the
+    # run_* functions pick the telemetry up via current_telemetry().
+    context = use_telemetry(telemetry) if telemetry else contextlib.nullcontext()
+    try:
+        with context:
+            if args.jobs > 1 and len(args.what) > 1:
+                jobs = [Job(fn=run_experiment,
+                            args=(what, args.scale, args.seed,
+                                  args.envs, args.games, args.attacks),
+                            name=what)
+                        for what in args.what]
+                report = run_parallel(jobs, max_workers=args.jobs)
+                for what, result in zip(args.what, report.results):
+                    print(f"\n##### {what} (scale={scale.name}) #####\n", flush=True)
+                    if result.ok:
+                        print(result.value)
+                    else:
+                        print(f"FAILED: {result.error}\n{result.traceback}")
+                print(f"\n[scheduler] {report.summary()}", flush=True)
+                exit_code = 1 if report.n_failed else 0
             else:
-                print(f"FAILED: {result.error}\n{result.traceback}")
-        print(f"\n[scheduler] {report.summary()}", flush=True)
-        return 1 if report.n_failed else 0
-    for what in args.what:
-        print(f"\n##### {what} (scale={scale.name}) #####\n", flush=True)
-        print(run_experiment(what, args.scale, seed=args.seed, envs=args.envs,
-                             games=args.games, attacks=args.attacks))
-    return 0
+                exit_code = 0
+                for what in args.what:
+                    print(f"\n##### {what} (scale={scale.name}) #####\n", flush=True)
+                    if telemetry is not None:
+                        telemetry.event("experiment.start", payload={"what": what})
+                    print(run_experiment(what, args.scale, seed=args.seed,
+                                         envs=args.envs, games=args.games,
+                                         attacks=args.attacks))
+                    if telemetry is not None:
+                        telemetry.event("experiment.end",
+                                        payload={"what": what, "ok": True})
+    except BaseException as exc:
+        if telemetry is not None:
+            telemetry.finalize("failed", error=f"{type(exc).__name__}: {exc}")
+        raise
+    if telemetry is not None:
+        telemetry.finalize("ok" if exit_code == 0 else "failed")
+    return exit_code

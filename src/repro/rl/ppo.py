@@ -14,6 +14,7 @@ import numpy as np
 from .. import nn
 from ..nn import Tensor
 from ..nn import functional as F
+from ..telemetry import profiled
 from .policy import ActorCritic
 
 __all__ = ["PPOConfig", "PPOUpdater"]
@@ -44,12 +45,15 @@ class PPOUpdater:
     """
 
     def __init__(self, policy: ActorCritic, config: PPOConfig | None = None,
-                 extra_loss=None):
+                 extra_loss=None, telemetry=None):
         self.policy = policy
         self.config = config or PPOConfig()
         self.optimizer = nn.Adam(policy.parameters(), lr=self.config.learning_rate)
         self.extra_loss = extra_loss
+        # Optional repro.telemetry.Telemetry; @profiled reads it per call.
+        self.telemetry = telemetry
 
+    @profiled("ppo.update")
     def update(self, batch: dict[str, np.ndarray], tau: float = 0.0,
                rng: np.random.Generator | None = None) -> dict[str, float]:
         """Run minibatch epochs on a finished rollout batch.
@@ -85,6 +89,11 @@ class PPOUpdater:
         if updates:
             stats = {k: v / updates for k, v in stats.items()}
         stats["updates"] = updates
+        if self.telemetry is not None:
+            metrics = self.telemetry.metrics
+            for key in ("policy_loss", "value_loss", "approx_kl", "clip_fraction"):
+                metrics.gauge(f"ppo.{key}").set(stats[key])
+            metrics.counter("ppo.minibatch_updates").inc(updates)
         return stats
 
     def _update_minibatch(self, batch, advantages, idx, tau) -> dict[str, float]:

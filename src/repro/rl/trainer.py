@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..envs.core import Env
+from ..telemetry import current_telemetry
 from .buffers import RolloutBuffer
 from .policy import ActorCritic
 from .ppo import PPOConfig, PPOUpdater
@@ -32,19 +33,28 @@ class TrainResult:
 
     @property
     def final_return(self) -> float:
-        return self.history[-1]["mean_return"] if self.history else 0.0
+        """Mean return of the last training iteration.
+
+        ``nan`` (not 0.0) when the history is empty — a zero-iteration
+        run is "no data", which must stay distinguishable from a genuine
+        zero return.  Compare via ``math.isnan`` before ordering on it.
+        """
+        return self.history[-1]["mean_return"] if self.history else float("nan")
 
 
 def train_ppo(env: Env, config: TrainConfig | None = None,
               policy: ActorCritic | None = None, extra_loss=None,
-              callback=None) -> TrainResult:
+              callback=None, telemetry=None) -> TrainResult:
     """Train an actor-critic with PPO on ``env``.
 
     ``extra_loss(policy, obs, dist) -> Tensor`` lets defenses add their
     regularizer; ``callback(iteration, policy, stats)`` supports
-    adversarial-training loops (ATLA) and curve recording.
+    adversarial-training loops (ATLA) and curve recording.  ``telemetry``
+    (a :class:`repro.telemetry.Telemetry`, default: the ambient one, or
+    none) records per-iteration events plus rollout/update timings.
     """
     config = config or TrainConfig()
+    telemetry = telemetry if telemetry is not None else current_telemetry()
     rng = np.random.default_rng(config.seed)
     env.seed(config.seed)
     obs_dim = env.observation_space.shape[0]
@@ -52,12 +62,18 @@ def train_ppo(env: Env, config: TrainConfig | None = None,
     if policy is None:
         policy = ActorCritic(obs_dim, action_dim, hidden_sizes=config.hidden_sizes,
                              rng=np.random.default_rng(config.seed))
-    updater = PPOUpdater(policy, config.ppo, extra_loss=extra_loss)
+    updater = PPOUpdater(policy, config.ppo, extra_loss=extra_loss,
+                         telemetry=telemetry)
     buffer = RolloutBuffer(config.steps_per_iteration, obs_dim, action_dim)
 
     history: list[dict[str, float]] = []
     for iteration in range(config.iterations):
-        stats = collect_rollout(env, policy, buffer, rng)
+        if telemetry is not None:
+            with telemetry.timer("ppo.rollout") as rollout_timer:
+                stats = collect_rollout(env, policy, buffer, rng)
+            telemetry.metrics.counter("ppo.env_steps").inc(config.steps_per_iteration)
+        else:
+            stats = collect_rollout(env, policy, buffer, rng)
         batch = buffer.finish(config.ppo.gamma, config.ppo.gae_lambda)
         diag = updater.update(batch, rng=rng)
         record = {
@@ -68,6 +84,14 @@ def train_ppo(env: Env, config: TrainConfig | None = None,
             **diag,
         }
         history.append(record)
+        if telemetry is not None:
+            rollout_s = rollout_timer.seconds
+            telemetry.event("ppo.iteration", payload=record, perf={
+                "rollout_s": rollout_s,
+                "update_s": telemetry.metrics.ewma("ppo.update").ewma,
+                "steps_per_s": (config.steps_per_iteration / rollout_s
+                                if rollout_s > 0 else float("inf")),
+            })
         if config.log_every and iteration % config.log_every == 0:
             print(
                 f"[ppo] iter {iteration:3d} return {stats.mean_return:9.2f} "

@@ -55,8 +55,10 @@ class _Lane:
 
 def collect_adversary_rollout_vec(vec_env: VectorEnv, policy: ActorCritic,
                                   n_steps: int, rng: np.random.Generator,
-                                  update_normalizer: bool = True) -> AdversaryRollout:
+                                  update_normalizer: bool = True,
+                                  telemetry=None) -> AdversaryRollout:
     """Collect ``n_steps`` of experience split evenly across the lanes."""
+    start = telemetry.clock.perf() if telemetry is not None else 0.0
     n_envs = vec_env.num_envs
     if n_steps % n_envs != 0:
         raise ValueError(
@@ -105,7 +107,14 @@ def collect_adversary_rollout_vec(vec_env: VectorEnv, policy: ActorCritic,
         for j, i in enumerate(open_lanes):
             lanes[i].buffer.set_bootstrap(steps_per_lane - 1, boot_e[j], boot_i[j])
 
-    return _assemble(lanes, steps_per_lane)
+    rollout = _assemble(lanes, steps_per_lane)
+    if telemetry is not None:
+        from ..attacks.trainer import record_rollout_telemetry
+
+        record_rollout_telemetry(telemetry, rollout,
+                                 telemetry.clock.perf() - start,
+                                 f"vec{n_envs}")
+    return rollout
 
 
 def _assemble(lanes: list[_Lane], steps_per_lane: int) -> AdversaryRollout:

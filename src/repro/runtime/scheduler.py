@@ -24,6 +24,8 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..telemetry import current_telemetry
+
 __all__ = ["Job", "JobResult", "ScheduleReport", "run_parallel", "derive_job_seeds"]
 
 
@@ -110,22 +112,51 @@ def _execute_job(job: Job) -> JobResult:
                          duration=time.perf_counter() - start)
 
 
+def _record_schedule(telemetry, report: ScheduleReport) -> None:
+    """Per-job events + crash records into the manifest, in job order.
+
+    Runs in the submitting process after results are gathered, so event
+    order is deterministic (submission order) regardless of worker
+    completion order.  Worker processes themselves run untelemetered —
+    an open JSONL sink does not cross a fork/spawn boundary.
+    """
+    for result in report.results:
+        telemetry.metrics.counter(
+            "scheduler.jobs_ok" if result.ok else "scheduler.jobs_failed").inc()
+        telemetry.metrics.observe_duration("scheduler.job", result.duration)
+        telemetry.event("job.finished", payload={
+            "name": result.name, "ok": result.ok, "error": result.error,
+        }, perf={"duration": result.duration})
+        telemetry.record_job(result.name, result.ok, duration=result.duration,
+                             error=result.error, traceback=result.traceback)
+    telemetry.event("schedule.complete", payload={
+        "n_jobs": len(report.results), "n_failed": report.n_failed,
+    }, perf={"wall_clock": report.wall_clock, "speedup": report.speedup,
+             "max_workers": report.max_workers})
+
+
 def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
-                 mp_context=None) -> ScheduleReport:
+                 mp_context=None, telemetry=None) -> ScheduleReport:
     """Execute ``jobs`` and return per-job results in submission order.
 
     ``max_workers <= 1`` (or a single job) runs inline — no processes, no
     pickling, identical to a plain for-loop.  Otherwise jobs are farmed
     out to a process pool; a job that raises, fails to pickle, or loses
     its worker is reported as a failed :class:`JobResult` while the rest
-    of the sweep completes.
+    of the sweep completes.  ``telemetry`` (default: the ambient one)
+    receives per-job events and crash records into the run manifest.
     """
     jobs = list(jobs)
+    telemetry = telemetry if telemetry is not None else current_telemetry()
     start = time.perf_counter()
     if max_workers <= 1 or len(jobs) <= 1:
         results = [_execute_job(job) for job in jobs]
-        return ScheduleReport(results=results, wall_clock=time.perf_counter() - start,
-                              max_workers=1)
+        report = ScheduleReport(results=results,
+                                wall_clock=time.perf_counter() - start,
+                                max_workers=1)
+        if telemetry is not None:
+            _record_schedule(telemetry, report)
+        return report
 
     if isinstance(mp_context, str):
         import multiprocessing
@@ -149,6 +180,9 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
                 results[i] = JobResult(name=jobs[i].name, ok=False,
                                        error=f"{type(exc).__name__}: {exc}",
                                        traceback=traceback.format_exc())
-    return ScheduleReport(results=[r for r in results if r is not None],
-                          wall_clock=time.perf_counter() - start,
-                          max_workers=max_workers)
+    report = ScheduleReport(results=[r for r in results if r is not None],
+                            wall_clock=time.perf_counter() - start,
+                            max_workers=max_workers)
+    if telemetry is not None:
+        _record_schedule(telemetry, report)
+    return report

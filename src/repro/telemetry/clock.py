@@ -1,0 +1,65 @@
+"""Injectable clocks: the telemetry determinism boundary.
+
+Every timestamp or duration that telemetry records flows through a
+:class:`Clock`, never through ``time.time()`` directly.  Production code
+uses :class:`WallClock`; tests inject a :class:`ManualClock` so event
+timestamps — and therefore whole JSONL traces — are bit-reproducible
+given a seed.  ``wall()`` is an epoch timestamp for humans reading
+manifests; ``perf()`` is monotonic and only ever used for durations.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "WallClock", "ManualClock"]
+
+
+class Clock:
+    """Timestamp source interface (see module docstring)."""
+
+    def wall(self) -> float:
+        """Seconds since the epoch (manifest/event timestamps)."""
+        raise NotImplementedError
+
+    def perf(self) -> float:
+        """Monotonic seconds (duration measurements only)."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """The real thing: ``time.time`` / ``time.perf_counter``."""
+
+    def wall(self) -> float:
+        return time.time()
+
+    def perf(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock(Clock):
+    """Deterministic clock for tests: advances only via :meth:`tick`.
+
+    ``auto_tick`` > 0 additionally advances the clock by that amount on
+    every read, so successive events get distinct (but reproducible)
+    timestamps without explicit ticking.
+    """
+
+    def __init__(self, start: float = 0.0, auto_tick: float = 0.0):
+        self.now = float(start)
+        self.auto_tick = float(auto_tick)
+
+    def tick(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+    def _read(self) -> float:
+        value = self.now
+        if self.auto_tick:
+            self.now += self.auto_tick
+        return value
+
+    def wall(self) -> float:
+        return self._read()
+
+    def perf(self) -> float:
+        return self._read()

@@ -1,0 +1,132 @@
+"""Structured event log: one JSON object per line (JSONL).
+
+Events have a fixed envelope::
+
+    {"seq": 12, "ts": 1717.25, "type": "attack.iteration",
+     "payload": {...}, "perf": {...}}
+
+``payload`` is the *deterministic* part — given the same seed it must be
+bit-identical across runs (the determinism battery asserts this).
+Wall-clock-dependent measurements (durations, steps/sec) go under
+``perf`` and are excluded from reproducibility comparisons.  ``ts``
+comes from an injected :class:`~repro.telemetry.clock.Clock`.
+
+:class:`JsonlEventSink` buffers serialized lines and appends them with a
+single ``write`` call per flush, so a line is never torn by a concurrent
+reader; ``close()`` flushes and fsyncs.  :class:`MemoryEventSink` keeps
+events in a list for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["EventSink", "NullEventSink", "MemoryEventSink", "JsonlEventSink",
+           "strip_perf", "read_jsonl"]
+
+
+def strip_perf(event: dict) -> dict:
+    """Drop the non-deterministic fields (``ts``/``perf``) of an event."""
+    return {k: v for k, v in event.items() if k not in ("ts", "perf")}
+
+
+class EventSink:
+    """Interface: receives event dicts, owns their persistence."""
+
+    def emit(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Persist anything buffered."""
+
+    def close(self) -> None:
+        self.flush()
+
+
+class NullEventSink(EventSink):
+    """Swallows everything (telemetry disabled)."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class MemoryEventSink(EventSink):
+    """Keeps events in memory; the test battery's sink of choice."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def payloads(self, event_type: str | None = None) -> list[dict]:
+        """Deterministic views (envelope minus ts/perf), optionally filtered."""
+        return [strip_perf(e) for e in self.events
+                if event_type is None or e["type"] == event_type]
+
+
+class JsonlEventSink(EventSink):
+    """Buffered append-only JSONL writer.
+
+    Lines are serialized eagerly (so a mutated payload can't retro-change
+    a buffered event) and written in batches of ``buffer_size`` with one
+    ``write`` syscall per flush.  The file is opened lazily on the first
+    flush, so constructing a sink never touches the filesystem.
+    """
+
+    def __init__(self, path: str | Path, buffer_size: int = 64,
+                 fsync_on_close: bool = True):
+        self.path = Path(path)
+        self.buffer_size = max(1, buffer_size)
+        self.fsync_on_close = fsync_on_close
+        self._lines: list[str] = []
+        self._file = None
+        self._closed = False
+
+    def emit(self, event: dict) -> None:
+        if self._closed:
+            raise ValueError(f"sink for {self.path} is closed")
+        self._lines.append(json.dumps(event, sort_keys=True,
+                                      separators=(",", ":"), default=str))
+        if len(self._lines) >= self.buffer_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._lines:
+            return
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+        self._file.write("\n".join(self._lines) + "\n")
+        self._file.flush()
+        self._lines = []
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        if self._file is not None:
+            if self.fsync_on_close:
+                os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+        self._closed = True
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load every event in a JSONL file (skipping blank lines)."""
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

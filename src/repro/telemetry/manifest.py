@@ -1,0 +1,124 @@
+"""Run manifests: one JSON document describing one run, written atomically.
+
+A manifest answers "what exactly produced these artifacts?": experiment
+configuration, seeds, package versions, wall-clock bounds, exit status,
+per-job records (including structured crash reports from the scheduler)
+and a final metrics snapshot.  ``write()`` goes through a temp file +
+``os.replace`` so readers never observe a half-written manifest — the
+file is either the previous complete version or the new one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from .clock import Clock, WallClock
+
+__all__ = ["RunManifest", "package_versions", "MANIFEST_NAME", "EVENTS_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+EVENTS_NAME = "events.jsonl"
+
+
+def package_versions() -> dict[str, str]:
+    """Versions of everything that can change a run's numbers."""
+    import numpy
+    import scipy
+
+    import repro
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "repro": getattr(repro, "__version__", "unknown"),
+    }
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to identify, audit, and reproduce one run."""
+
+    run_id: str
+    experiment: dict = field(default_factory=dict)
+    seeds: list[int] = field(default_factory=list)
+    argv: list[str] = field(default_factory=list)
+    versions: dict = field(default_factory=dict)
+    started_at: float = 0.0
+    finished_at: float | None = None
+    status: str = "running"          # running | ok | failed
+    error: str | None = None
+    jobs: list[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    events_path: str | None = None
+
+    @classmethod
+    def create(cls, run_id: str, experiment: dict | None = None,
+               seeds: list[int] | None = None, argv: list[str] | None = None,
+               clock: Clock | None = None,
+               versions: dict | None = None) -> "RunManifest":
+        clock = clock or WallClock()
+        return cls(
+            run_id=run_id,
+            experiment=dict(experiment or {}),
+            seeds=list(seeds or []),
+            argv=list(sys.argv if argv is None else argv),
+            versions=package_versions() if versions is None else dict(versions),
+            started_at=clock.wall(),
+        )
+
+    def record_job(self, name: str, ok: bool, duration: float = 0.0,
+                   error: str | None = None, traceback: str | None = None) -> None:
+        """Append one job outcome; failed jobs double as crash records."""
+        record: dict = {"name": name, "ok": ok, "duration": duration}
+        if error is not None:
+            record["error"] = error
+        if traceback is not None:
+            record["traceback"] = traceback
+        self.jobs.append(record)
+
+    def finalize(self, status: str = "ok", error: str | None = None,
+                 clock: Clock | None = None, metrics: dict | None = None) -> None:
+        self.status = status
+        self.error = error
+        self.finished_at = (clock or WallClock()).wall()
+        if metrics is not None:
+            self.metrics = metrics
+
+    @property
+    def duration(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def write(self, path: str | Path) -> Path:
+        """Atomic write: serialize to a sibling temp file, then replace."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True, default=str)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name,
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        return cls(**data)

@@ -1,0 +1,187 @@
+"""In-process metrics: counters, gauges, EWMA timers, histogram summaries.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.
+Instruments are created lazily on first use (``registry.counter("x")``)
+so instrumented code never has to pre-declare what it measures.
+``snapshot()`` renders everything into a plain, sorted, JSON-safe dict —
+that is what lands in run manifests.
+
+All instruments are deterministic functions of the observation sequence:
+histograms keep an exact sample (capped at ``max_samples``, after which
+only the streaming moments keep updating), never a randomized reservoir.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Gauge", "EwmaTimer", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count (events, steps, failures)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def render(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins scalar (current τ, last KL, buffer size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = float("nan")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def render(self) -> float:
+        return self.value
+
+
+class EwmaTimer:
+    """Exponentially weighted moving average of observed durations.
+
+    Tracks a smoothed "recent" value next to the all-time mean; the
+    first observation seeds the EWMA so it is defined immediately.
+    """
+
+    __slots__ = ("alpha", "ewma", "count", "total")
+
+    def __init__(self, alpha: float = 0.2):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.ewma = float("nan")
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        if math.isnan(self.ewma):
+            self.ewma = seconds
+        else:
+            self.ewma += self.alpha * (seconds - self.ewma)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def render(self) -> dict:
+        return {"ewma": self.ewma, "mean": self.mean,
+                "count": self.count, "total": self.total}
+
+
+class Histogram:
+    """Summary statistics over observed values.
+
+    Keeps exact values up to ``max_samples`` for quantiles; streaming
+    moments (count/sum/min/max/sumsq) always cover every observation.
+    """
+
+    __slots__ = ("max_samples", "samples", "count", "sum", "sumsq", "min", "max")
+
+    def __init__(self, max_samples: int = 4096):
+        self.max_samples = max_samples
+        self.samples: list[float] = []
+        self.count = 0
+        self.sum = 0.0
+        self.sumsq = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.sumsq += value * value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    @property
+    def std(self) -> float:
+        if not self.count:
+            return float("nan")
+        var = self.sumsq / self.count - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile over the retained sample."""
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(self.samples)
+        pos = q * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def render(self) -> dict:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count, "mean": self.mean, "std": self.std,
+            "min": self.min, "max": self.max, "sum": self.sum,
+            "p50": self.quantile(0.5), "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with lazy creation and a JSON-safe snapshot."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, EwmaTimer] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    @staticmethod
+    def _get(table: dict, name: str, factory):
+        instrument = table.get(name)
+        if instrument is None:
+            instrument = table[name] = factory()
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def ewma(self, name: str, alpha: float = 0.2) -> EwmaTimer:
+        return self._get(self._timers, name, lambda: EwmaTimer(alpha))
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        return self._get(self._histograms, name, lambda: Histogram(max_samples))
+
+    def observe_duration(self, name: str, seconds: float) -> None:
+        """Record one duration into both the EWMA and the histogram."""
+        self.ewma(name).observe(seconds)
+        self.histogram(name).observe(seconds)
+
+    def snapshot(self) -> dict:
+        """Everything, sorted, as plain floats/dicts (manifest-ready)."""
+        out: dict[str, dict] = {}
+        for kind, table in (("counters", self._counters), ("gauges", self._gauges),
+                            ("timers", self._timers), ("histograms", self._histograms)):
+            if table:
+                out[kind] = {name: table[name].render() for name in sorted(table)}
+        return out

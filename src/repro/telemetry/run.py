@@ -1,0 +1,163 @@
+"""The per-run telemetry facade and the ambient-telemetry context.
+
+:class:`Telemetry` bundles the three sinks a run needs — a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, an
+:class:`~repro.telemetry.events.EventSink`, and an optional
+:class:`~repro.telemetry.manifest.RunManifest` — behind one object that
+instrumented code can treat uniformly.  ``Telemetry.to_dir(...)`` is the
+standard production shape: ``manifest.json`` + ``events.jsonl`` in one
+directory.
+
+Instrumented hot paths take ``telemetry=None`` and fall back to the
+*ambient* telemetry installed with :func:`use_telemetry` (a contextvar),
+which is how the experiments CLI reaches training loops buried under
+``run_table1`` et al. without threading a parameter through every layer.
+With neither set, instrumentation short-circuits to nothing — that is
+the default, and it is what keeps tier-1 tests and benchmarks at
+baseline speed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from pathlib import Path
+
+from .clock import Clock, WallClock
+from .events import EventSink, JsonlEventSink, MemoryEventSink, NullEventSink
+from .manifest import EVENTS_NAME, MANIFEST_NAME, RunManifest
+from .metrics import MetricsRegistry
+
+__all__ = ["Telemetry", "use_telemetry", "current_telemetry"]
+
+_current: ContextVar["Telemetry | None"] = ContextVar("repro_telemetry", default=None)
+
+
+def current_telemetry() -> "Telemetry | None":
+    """The ambient telemetry installed by :func:`use_telemetry` (or None)."""
+    return _current.get()
+
+
+@contextlib.contextmanager
+def use_telemetry(telemetry: "Telemetry | None"):
+    """Install ``telemetry`` as the ambient default within the block."""
+    token = _current.set(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _current.reset(token)
+
+
+class _Timer:
+    """Context manager: measures a block and records it once on exit."""
+
+    __slots__ = ("telemetry", "name", "start", "seconds")
+
+    def __init__(self, telemetry: "Telemetry", name: str):
+        self.telemetry = telemetry
+        self.name = name
+        self.start = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self.start = self.telemetry.clock.perf()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = self.telemetry.clock.perf() - self.start
+        self.telemetry.metrics.observe_duration(self.name, self.seconds)
+
+
+class Telemetry:
+    """One run's metrics + event log + manifest (see module docstring)."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 sink: EventSink | None = None,
+                 manifest: RunManifest | None = None,
+                 clock: Clock | None = None,
+                 manifest_path: str | Path | None = None):
+        self.metrics = metrics or MetricsRegistry()
+        self.sink = sink or NullEventSink()
+        self.manifest = manifest
+        self.clock = clock or WallClock()
+        self.manifest_path = Path(manifest_path) if manifest_path else None
+        self._seq = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------ factories
+
+    @classmethod
+    def to_dir(cls, directory: str | Path, run_id: str = "run",
+               experiment: dict | None = None, seeds: list[int] | None = None,
+               clock: Clock | None = None, argv: list[str] | None = None,
+               buffer_size: int = 64) -> "Telemetry":
+        """Manifest + JSONL sink under ``directory`` (created on demand).
+
+        The manifest is written immediately with ``status="running"`` so
+        a killed run still leaves an identifiable record behind.
+        """
+        directory = Path(directory)
+        clock = clock or WallClock()
+        manifest = RunManifest.create(run_id=run_id, experiment=experiment,
+                                      seeds=seeds, argv=argv, clock=clock)
+        manifest.events_path = EVENTS_NAME
+        telemetry = cls(
+            sink=JsonlEventSink(directory / EVENTS_NAME, buffer_size=buffer_size),
+            manifest=manifest,
+            clock=clock,
+            manifest_path=directory / MANIFEST_NAME,
+        )
+        manifest.write(telemetry.manifest_path)
+        return telemetry
+
+    @classmethod
+    def in_memory(cls, clock: Clock | None = None) -> "Telemetry":
+        """Metrics + a :class:`MemoryEventSink`; what the tests use."""
+        return cls(sink=MemoryEventSink(), clock=clock)
+
+    # ------------------------------------------------------------ recording
+
+    def event(self, event_type: str, payload: dict | None = None,
+              perf: dict | None = None) -> None:
+        """Emit one event; ``payload`` must be deterministic, ``perf`` may not."""
+        record: dict = {"seq": self._seq, "ts": self.clock.wall(),
+                        "type": event_type, "payload": payload or {}}
+        if perf:
+            record["perf"] = perf
+        self._seq += 1
+        self.sink.emit(record)
+
+    def timer(self, name: str) -> _Timer:
+        """``with telemetry.timer("attack.knn_bonus") as t: ...`` — records
+        the block's duration under ``name`` (EWMA + histogram)."""
+        return _Timer(self, name)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def record_job(self, name: str, ok: bool, duration: float = 0.0,
+                   error: str | None = None, traceback: str | None = None) -> None:
+        """Forward a job outcome to the manifest (no-op without one)."""
+        if self.manifest is not None:
+            self.manifest.record_job(name, ok, duration=duration,
+                                     error=error, traceback=traceback)
+
+    def finalize(self, status: str = "ok", error: str | None = None) -> None:
+        """Seal the run: final manifest (with metrics snapshot), close sink."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if self.manifest is not None:
+            self.manifest.finalize(status=status, error=error, clock=self.clock,
+                                   metrics=self.metrics.snapshot())
+            if self.manifest_path is not None:
+                self.manifest.write(self.manifest_path)
+        self.sink.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finalize("ok")
+        else:
+            self.finalize("failed", error=f"{exc_type.__name__}: {exc}")

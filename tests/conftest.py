@@ -6,6 +6,19 @@ import numpy as np
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="regenerate tests/goldens/*.json from the current code "
+             "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

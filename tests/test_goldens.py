@@ -1,0 +1,99 @@
+"""Golden-trace regression tests: catch silent drift in the numbers.
+
+Each test recomputes a small, fully seeded experiment slice and compares
+it against a checked-in JSON trace (``tests/goldens/``).  Comparisons use
+tolerances (``RTOL``/``ATOL``) so a benign platform difference does not
+fail the suite, while a real behavioural change — a reward-scale bug, a
+changed RNG stream, a broken evaluation — does.
+
+After an *intentional* change to training or evaluation behaviour,
+regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import SCALES, evaluate_cell, run_table1, victim_for
+from repro.experiments.table1 import TABLE1_ATTACKS
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+SCALE = SCALES["smoke"]  # smallest preset — seconds per cell
+RTOL = 1e-3
+ATOL = 1e-6
+
+
+def _assert_close(actual, golden, path=""):
+    """Recursive comparison with float tolerances and exact structure."""
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: type changed"
+        assert sorted(actual) == sorted(golden), f"{path}: keys changed"
+        for key in golden:
+            _assert_close(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list), f"{path}: type changed"
+        assert len(actual) == len(golden), f"{path}: length changed"
+        for i, (a, g) in enumerate(zip(actual, golden)):
+            _assert_close(a, g, f"{path}[{i}]")
+    elif isinstance(golden, float):
+        assert math.isclose(actual, golden, rel_tol=RTOL, abs_tol=ATOL), \
+            f"{path}: {actual} != golden {golden} (rtol={RTOL}, atol={ATOL})"
+    else:
+        assert actual == golden, f"{path}: {actual} != golden {golden}"
+
+
+def check_golden(name: str, payload: dict, update: bool) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated golden {path.name}")
+    assert path.exists(), (
+        f"missing golden {path}; generate with --update-goldens")
+    _assert_close(payload, json.loads(path.read_text()))
+
+
+def test_evaluate_cell_golden(update_goldens):
+    """One (victim, attack) evaluation cell: clean PPO Hopper victim."""
+    victim = victim_for("Hopper-v0", "ppo", SCALE, seed=0)
+    ev = evaluate_cell("Hopper-v0", victim, "none", None, SCALE)
+    check_golden("evaluate_cell_hopper_ppo_none", {
+        "env_id": "Hopper-v0",
+        "defense": "ppo",
+        "attack": "none",
+        "scale": SCALE.name,
+        "episodes": len(ev.episode_rewards),
+        "mean_reward": ev.mean_reward,
+        "std_reward": ev.std_reward,
+        "asr": ev.asr,
+        "episode_rewards": [float(r) for r in ev.episode_rewards],
+        "episode_lengths": [int(n) for n in ev.episode_lengths],
+    }, update_goldens)
+
+
+def test_table1_row_golden(update_goldens):
+    """One full Table-1 row (Hopper × ppo, all attack columns) at smoke scale."""
+    result = run_table1(env_ids=["Hopper-v0"], defenses=["ppo"],
+                        attacks=TABLE1_ATTACKS, scale=SCALE, seed=0,
+                        verbose=False)
+    row = {
+        cell.attack: {
+            "mean_reward": cell.mean_reward,
+            "std_reward": cell.std_reward,
+            "asr": cell.asr,
+        }
+        for cell in result.cells
+    }
+    assert sorted(row) == sorted(TABLE1_ATTACKS)
+    check_golden("table1_row_hopper_ppo", {
+        "env_id": "Hopper-v0",
+        "defense": "ppo",
+        "scale": SCALE.name,
+        "row": row,
+    }, update_goldens)

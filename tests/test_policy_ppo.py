@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -174,8 +176,16 @@ class TestRolloutAndTraining:
         result = train_ppo(ToyTargetEnv(), TrainConfig(
             iterations=15, steps_per_iteration=400, hidden_sizes=(16,), seed=0))
         first = result.history[0]["mean_return"]
-        last = result.history[-1]["mean_return"]
+        last = result.final_return
+        assert not math.isnan(last)  # trained runs always have history
         assert last > first + 1.0  # clearly learned to copy obs
+
+    def test_final_return_nan_on_empty_history(self):
+        result = train_ppo(ToyTargetEnv(), TrainConfig(
+            iterations=0, steps_per_iteration=60, hidden_sizes=(8,), seed=0))
+        assert result.history == []
+        # nan, not 0.0: "no data" must not look like a real zero return
+        assert math.isnan(result.final_return)
 
     def test_history_fields(self):
         result = train_ppo(ToyTargetEnv(), TrainConfig(
