@@ -1,0 +1,97 @@
+"""Artifact-store maintenance CLI: list, verify, and prune.
+
+Examples::
+
+    python scripts/store_gc.py list
+    python scripts/store_gc.py list --store-dir /tmp/store
+    python scripts/store_gc.py verify
+    python scripts/store_gc.py prune --keep-latest 2
+    python scripts/store_gc.py prune --keep-latest 0 --yes   # wipe everything
+
+``prune --keep-latest N`` keeps the N newest artifacts per logical
+family (kind + env/game + defense/attack) and deletes older ones, plus
+any orphan blobs left by interrupted writes.  Destructive actions ask
+for confirmation unless ``--yes`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.store import ArtifactStore, default_store_root  # noqa: E402
+
+
+def _store(args) -> ArtifactStore:
+    root = Path(args.store_dir) if args.store_dir else default_store_root()
+    return ArtifactStore(root)
+
+
+def cmd_list(args) -> int:
+    store = _store(args)
+    entries = store.list()
+    if not entries:
+        print(f"(empty store at {store.root})")
+        return 0
+    for entry in entries:
+        spec = entry.spec
+        label = "/".join(
+            str(spec[field]) for field in ("kind", "env_id", "defense", "attack")
+            if spec.get(field))
+        print(f"{entry.key[:12]}  {entry.nbytes:>10d}B  {label}  "
+              f"seed={spec.get('seed', '-')}")
+    print(f"{len(entries)} artifacts, {store.total_bytes()} bytes at {store.root}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    store = _store(args)
+    problems = store.verify()
+    for problem in problems:
+        print(f"PROBLEM: {problem}")
+    print(f"{len(store)} artifacts checked, {len(problems)} problems")
+    return 1 if problems else 0
+
+
+def cmd_prune(args) -> int:
+    store = _store(args)
+    before = len(store)
+    if not args.yes:
+        answer = input(f"prune store at {store.root} ({before} artifacts, "
+                       f"keep latest {args.keep_latest} per family)? [y/N] ")
+        if answer.strip().lower() not in ("y", "yes"):
+            print("aborted")
+            return 1
+    removed = store.prune(keep_latest=args.keep_latest)
+    for entry in removed:
+        print(f"removed {entry.key[:12]} ({entry.group})")
+    print(f"removed {len(removed)} artifacts; {len(store)} remain")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--store-dir", default=None,
+                        help="store root (default: $REPRO_STORE or "
+                             "$REPRO_ARTIFACTS/store)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list committed artifacts")
+    sub.add_parser("verify", help="integrity-scan the store")
+    prune = sub.add_parser("prune", help="delete old artifacts + orphan blobs")
+    prune.add_argument("--keep-latest", type=int, default=1,
+                       help="artifacts to keep per family (default 1)")
+    prune.add_argument("--yes", action="store_true",
+                       help="skip the confirmation prompt")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {"list": cmd_list, "verify": cmd_verify, "prune": cmd_prune}[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,3 +79,32 @@ class MimicPolicy(nn.Module):
 
     def distribution(self, obs_batch) -> DiagGaussian:
         return DiagGaussian(self.net(obs_batch), self.log_std)
+
+    # ------------------------------------------------------------ checkpoint
+
+    def checkpoint_state(self) -> dict:
+        """Resumable snapshot: params, optimizer moments, reservoir, RNG."""
+        empty = np.zeros((0, 0))
+        return {
+            "obs_dim": self.net.hidden[0].in_features if self.net.hidden
+                       else self.net.output.in_features,
+            "action_dim": self.net.output.out_features,
+            "params": self.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "rng": self._rng.bit_generator.state,
+            "obs": np.asarray(self._obs) if self._obs else empty,
+            "means": np.asarray(self._means) if self._means else empty,
+            "seen": self._seen,
+            "trained": self.trained,
+        }
+
+    def load_checkpoint_state(self, state: dict) -> None:
+        self.load_state_dict(state["params"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self._rng.bit_generator.state = state["rng"]
+        obs = np.asarray(state["obs"], dtype=np.float64)
+        means = np.asarray(state["means"], dtype=np.float64)
+        self._obs = [row.copy() for row in obs]
+        self._means = [row.copy() for row in means]
+        self._seen = int(state["seen"])
+        self.trained = bool(state["trained"])

@@ -50,6 +50,20 @@ class IntrinsicRegularizer:
     def after_update(self, rollout: AdversaryRollout, policy: ActorCritic) -> None:
         """Called once per iteration after the PPO update."""
 
+    def state_dict(self) -> dict:
+        """Resumable snapshot of the regularizer's cross-iteration state.
+
+        Stateless regularizers (SC) return ``{}``; stateful ones override
+        to capture their buffers so a resumed attack run stays
+        bit-identical to an uninterrupted one.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state:
+            raise ValueError(f"{type(self).__name__} has no state to load: "
+                             f"{sorted(state)}")
+
     # ------------------------------------------------------------- utilities
 
     def _mix(self, adversary_bonus: np.ndarray, victim_bonus: np.ndarray) -> np.ndarray:
@@ -107,6 +121,14 @@ class PolicyCoverageRegularizer(IntrinsicRegularizer):
         if self.multi_agent:
             self._union_vic.extend(rollout.knn_victim)
 
+    def state_dict(self) -> dict:
+        return {"union_adv": self._union_adv.state_dict(),
+                "union_vic": self._union_vic.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._union_adv.load_state_dict(state["union_adv"])
+        self._union_vic.load_state_dict(state["union_vic"])
+
 
 class RiskRegularizer(IntrinsicRegularizer):
     """R-driven: lure the victim toward the adversarial state s^{v(α)}.
@@ -124,6 +146,13 @@ class RiskRegularizer(IntrinsicRegularizer):
         if self.target is None:
             self.target = rollout.knn_victim[0].copy()
         return -np.linalg.norm(rollout.knn_victim - self.target, axis=1)
+
+    def state_dict(self) -> dict:
+        return {"target": None if self.target is None else self.target.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        target = state["target"]
+        self.target = None if target is None else np.asarray(target, dtype=np.float64)
 
 
 class DivergenceRegularizer(IntrinsicRegularizer):
@@ -155,6 +184,22 @@ class DivergenceRegularizer(IntrinsicRegularizer):
         mimic = self._ensure_mimic(policy)
         mimic.absorb(rollout.obs, policy)
         mimic.fit(steps=self.config.mimic_train_steps)
+
+    def state_dict(self) -> dict:
+        return {"mimic": None if self._mimic is None
+                else self._mimic.checkpoint_state()}
+
+    def load_state_dict(self, state: dict) -> None:
+        mimic_state = state["mimic"]
+        if mimic_state is None:
+            self._mimic = None
+            return
+        self._mimic = MimicPolicy(
+            int(mimic_state["obs_dim"]), int(mimic_state["action_dim"]),
+            buffer_capacity=self.config.mimic_buffer_capacity,
+            seed=self.config.seed,
+        )
+        self._mimic.load_checkpoint_state(mimic_state)
 
 
 def make_regularizer(name: str, config: AttackConfig, multi_agent: bool = False,

@@ -9,6 +9,8 @@ schedule (Eq. 15-17).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from ..envs.core import Env
@@ -20,6 +22,8 @@ from ..telemetry import current_telemetry
 from .base import AdversaryRollout, AttackConfig, AttackResult, knn_feature
 
 __all__ = ["collect_adversary_rollout", "AdversaryTrainer", "record_rollout_telemetry"]
+
+CHECKPOINT_KIND = "adversary"
 
 
 def record_rollout_telemetry(telemetry, rollout: AdversaryRollout,
@@ -197,12 +201,76 @@ class AdversaryTrainer:
             self.tau = 1.0 / (1.0 + self._lambda)
         self._prev_j_ap = j_ap
 
-    def train(self, callback=None) -> AttackResult:
+    # ------------------------------------------------------------ checkpoint
+
+    def capture_checkpoint(self, iteration: int, history: list[dict]):
+        """Full trainer state at an iteration boundary (see module docstring
+        of :mod:`repro.store.checkpoint` for the bit-identity contract)."""
+        from ..store.checkpoint import TrainingCheckpoint, capture_rng_states
+
+        return TrainingCheckpoint(
+            kind=CHECKPOINT_KIND, iteration=iteration, history=list(history),
+            state={
+                "policy": self.policy.checkpoint_state(),
+                "optimizer": self.updater.optimizer.state_dict(),
+                "rng": self.rng.bit_generator.state,
+                "env_rngs": capture_rng_states(self.env),
+                "tau": self.tau,
+                "lambda": self._lambda,
+                "prev_j_ap": self._prev_j_ap,
+                "best_asr": self._best_asr,
+                "best_state": self._best_state,
+                "regularizer": (self.regularizer.state_dict()
+                                if self.regularizer is not None else None),
+            },
+        )
+
+    def restore_checkpoint(self, ckpt) -> tuple[int, list[dict]]:
+        """Load a checkpoint into this trainer; returns (iteration, history).
+
+        The env RNGs are restored here, *after* ``env.seed`` ran inside
+        :meth:`train`, so call this only through ``train(checkpoint_path=...)``
+        or re-seed the env first.
+        """
+        from ..store.checkpoint import restore_rng_states
+
+        ckpt.expect_kind(CHECKPOINT_KIND)
+        state = ckpt.state
+        self.policy.load_checkpoint_state(state["policy"])
+        self.updater.optimizer.load_state_dict(state["optimizer"])
+        self.rng.bit_generator.state = state["rng"]
+        restore_rng_states(self.env, state["env_rngs"])
+        self.tau = float(state["tau"])
+        self._lambda = float(state["lambda"])
+        self._prev_j_ap = (None if state["prev_j_ap"] is None
+                           else float(state["prev_j_ap"]))
+        self._best_asr = float(state["best_asr"])
+        self._best_state = state["best_state"]
+        if self.regularizer is not None:
+            self.regularizer.load_state_dict(state["regularizer"] or {})
+        return ckpt.iteration, list(ckpt.history)
+
+    def train(self, callback=None, checkpoint_path: str | Path | None = None,
+              checkpoint_every: int = 0, resume: bool = True) -> AttackResult:
+        """Run the attack-training loop.
+
+        ``checkpoint_path`` + ``checkpoint_every=k`` snapshot the full
+        trainer state every k completed iterations; with ``resume=True``
+        an existing checkpoint at that path is loaded first and training
+        continues from it bit-identically (same params, history, and
+        telemetry payloads as the uninterrupted run).
+        """
         cfg = self.config
         telemetry = self.telemetry
         self.env.seed(cfg.seed)
+        start_iteration = 0
         history: list[dict[str, float]] = []
-        for iteration in range(cfg.iterations):
+        if checkpoint_path is not None and resume and Path(checkpoint_path).exists():
+            from ..store.checkpoint import TrainingCheckpoint
+
+            start_iteration, history = self.restore_checkpoint(
+                TrainingCheckpoint.load(checkpoint_path))
+        for iteration in range(start_iteration, cfg.iterations):
             rollout = self._collect(cfg.steps_per_iteration)
             intrinsic = None
             if self.regularizer is not None:
@@ -264,6 +332,9 @@ class AdversaryTrainer:
                     self._best_state = self.policy.checkpoint_state()
             if callback is not None:
                 callback(iteration, self.policy, record)
+            if (checkpoint_path is not None and checkpoint_every
+                    and (iteration + 1) % checkpoint_every == 0):
+                self.capture_checkpoint(iteration + 1, history).save(checkpoint_path)
         if cfg.select_best and self._best_state is not None:
             self.policy.load_checkpoint_state(self._best_state)
         return AttackResult(policy=self.policy, history=history, name=self.name)

@@ -74,3 +74,27 @@ class UnionStateBuffer:
     @property
     def total_seen(self) -> int:
         return self._seen
+
+    def state_dict(self) -> dict:
+        """Resumable snapshot: contents, reservoir counters, and RNG state."""
+        return {
+            "capacity": self.capacity,
+            "states": self.states.copy(),
+            "seen": self._seen,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if int(state["capacity"]) != self.capacity:
+            raise ValueError(f"capacity mismatch: stored {state['capacity']} "
+                             f"vs configured {self.capacity}")
+        states = np.asarray(state["states"], dtype=np.float64)
+        if states.size == 0:
+            self._storage = None
+            self._fill = 0
+        else:
+            self._storage = np.zeros((self.capacity, states.shape[1]))
+            self._storage[: len(states)] = states
+            self._fill = len(states)
+        self._seen = int(state["seen"])
+        self._rng.bit_generator.state = state["rng"]

@@ -14,20 +14,31 @@ printed in request order, and a crashed experiment is reported without
 aborting the others.
 
 ``--telemetry-dir DIR`` records the run: ``DIR/manifest.json`` (config,
-seeds, package versions, wall clock, exit status, per-job crash records)
-plus ``DIR/events.jsonl`` (per-iteration training events with
-rollout/update/KNN timings).  Off by default — without the flag the hot
-paths run uninstrumented at full speed.  With ``--jobs > 1`` worker
-processes run untelemetered; the parent still records per-job events.
+seeds, package versions, wall clock, exit status, per-job crash records,
+artifact hashes consumed/produced) plus ``DIR/events.jsonl``
+(per-iteration training events with rollout/update/KNN timings).  Off by
+default — without the flag the hot paths run uninstrumented at full
+speed.  With ``--jobs > 1`` worker processes run untelemetered; the
+parent still records per-job events.
+
+``--resume RUN_DIR`` re-launches the run recorded in
+``RUN_DIR/manifest.json``: experiment selection and filters are read
+back from the manifest (explicit flags still win), telemetry goes to
+RUN_DIR again, and every already-completed cell is served from the
+artifact store instead of retraining.  ``--store-dir DIR`` points the
+artifact store somewhere other than ``$REPRO_ARTIFACTS/store`` (it is
+exported as ``$REPRO_STORE`` so pool workers inherit it).
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import os
+from pathlib import Path
 
 from ..runtime import Job, run_parallel
-from ..telemetry import Telemetry, use_telemetry
+from ..telemetry import MANIFEST_NAME, RunManifest, Telemetry, use_telemetry
 from .config import SCALES
 from .fig4 import run_fig4
 from .fig5 import run_fig5
@@ -37,7 +48,7 @@ from .table1 import run_table1
 from .table2 import run_table2
 from .table3 import br_improvement_count, render_table3, run_table3
 
-__all__ = ["main", "build_parser", "run_experiment"]
+__all__ = ["main", "build_parser", "run_experiment", "apply_resume"]
 
 EXPERIMENT_NAMES = ["table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7"]
 
@@ -47,8 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("what", nargs="+", choices=EXPERIMENT_NAMES,
-                        help="which experiments to run")
+    # No argparse ``choices`` here: with ``nargs="*"`` argparse validates
+    # the empty default against the choice list and rejects a bare
+    # ``--resume RUN_DIR`` invocation; apply_resume validates instead.
+    parser.add_argument("what", nargs="*", default=[], metavar="what",
+                        help="which experiments to run: "
+                             f"{', '.join(EXPERIMENT_NAMES)} "
+                             "(optional with --resume)")
     parser.add_argument("--scale", default="smoke", choices=sorted(SCALES),
                         help="budget preset (default: smoke)")
     parser.add_argument("--seed", type=int, default=0)
@@ -64,7 +80,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
                         help="write a run manifest (manifest.json) and JSONL "
                              "event log (events.jsonl) under DIR; default off")
+    parser.add_argument("--resume", default=None, metavar="RUN_DIR",
+                        help="re-launch the run recorded in RUN_DIR/manifest.json; "
+                             "completed cells are served from the artifact store")
+    parser.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="artifact store location (default: "
+                             "$REPRO_STORE or $REPRO_ARTIFACTS/store)")
     return parser
+
+
+def apply_resume(args: argparse.Namespace,
+                 parser: argparse.ArgumentParser) -> argparse.Namespace:
+    """Fill unset args from the manifest recorded at ``--resume RUN_DIR``.
+
+    "Unset" means the parsed value equals the parser default — explicit
+    flags override the recorded run.  Telemetry is redirected back into
+    RUN_DIR so the resumed run extends the same record.
+    """
+    unknown = [w for w in args.what if w not in EXPERIMENT_NAMES]
+    if unknown:
+        parser.error(f"unknown experiment(s) {unknown}; options: {EXPERIMENT_NAMES}")
+    if args.resume is None:
+        if not args.what:
+            parser.error("specify at least one experiment (or --resume RUN_DIR)")
+        return args
+    manifest_path = Path(args.resume) / MANIFEST_NAME
+    if not manifest_path.exists():
+        parser.error(f"--resume: no {MANIFEST_NAME} under {args.resume}")
+    recorded = RunManifest.load(manifest_path).experiment
+    for name in ("what", "scale", "seed", "jobs", "envs", "games", "attacks",
+                 "store_dir"):
+        if name in recorded and getattr(args, name) == parser.get_default(name):
+            setattr(args, name, recorded[name])
+    if args.telemetry_dir is None:
+        args.telemetry_dir = args.resume
+    if not args.what:
+        parser.error("--resume: recorded manifest names no experiments")
+    return args
 
 
 def run_experiment(what: str, scale_name: str, seed: int = 0,
@@ -110,15 +162,20 @@ def _make_telemetry(args) -> Telemetry | None:
         args.telemetry_dir,
         run_id=f"{'-'.join(args.what)}-{args.scale}-seed{args.seed}",
         experiment={
-            "what": args.what, "scale": args.scale, "jobs": args.jobs,
-            "envs": args.envs, "games": args.games, "attacks": args.attacks,
+            "what": args.what, "scale": args.scale, "seed": args.seed,
+            "jobs": args.jobs, "envs": args.envs, "games": args.games,
+            "attacks": args.attacks, "store_dir": args.store_dir,
         },
         seeds=[args.seed],
     )
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = apply_resume(parser.parse_args(argv), parser)
+    if args.store_dir is not None:
+        # Environment, not a parameter: pool workers inherit it on spawn.
+        os.environ["REPRO_STORE"] = str(args.store_dir)
     scale = SCALES[args.scale]
     telemetry = _make_telemetry(args)
     # Ambient installation: trainers and collectors buried under the

@@ -1,7 +1,14 @@
-"""Shared experiment plumbing: victims, attacks, and cell evaluation."""
+"""Shared experiment plumbing: victims, attacks, and cell evaluation.
+
+Learned attacks are cached in the content-addressed artifact store keyed
+by (env, attack name, full attack config, victim parameter fingerprint,
+code version): re-running a completed sweep retrains nothing, while any
+change to the victim or the attack budget produces fresh keys.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import replace
 
 import numpy as np
@@ -22,6 +29,7 @@ from ..envs import make, make_game
 from ..eval import AttackEvaluation, evaluate_game, evaluate_single_agent
 from ..rl.policy import ActorCritic
 from ..runtime import SyncVectorEnv
+from ..store import CODE_VERSION, ArtifactStore, default_store, state_fingerprint
 from ..zoo import get_game_victim, get_victim
 from .config import ExperimentScale
 
@@ -100,39 +108,120 @@ def make_adversary_env(env_id: str, victim: ActorCritic, epsilon: float,
     return SyncVectorEnv([one(seed + i) for i in range(n_envs)])
 
 
+def attack_spec(kind: str, env_id: str, attack: str, config: AttackConfig,
+                victim: ActorCritic, **extra) -> dict:
+    """Content-address spec for a trained attack artifact.
+
+    The victim enters via a fingerprint of its parameters (not its
+    training recipe): a retrained or differently-configured victim
+    changes the fingerprint and therefore the key.
+    """
+    return {
+        "kind": kind,
+        "env_id": env_id,
+        "attack": attack,
+        "config": dataclasses.asdict(config),
+        "victim": state_fingerprint(victim.checkpoint_state()),
+        "code_version": CODE_VERSION,
+        **extra,
+    }
+
+
+def _load_cached_attack(store: ArtifactStore, spec: dict) -> AttackResult | None:
+    hit = store.get(spec)
+    if hit is None:
+        return None
+    state, entry = hit
+    meta = entry.metadata
+    try:
+        policy = ActorCritic(int(meta["obs_dim"]), int(meta["action_dim"]),
+                             hidden_sizes=tuple(meta["hidden_sizes"]),
+                             dual_value=bool(meta["dual_value"]))
+        policy.load_checkpoint_state(state)
+    except (KeyError, ValueError, TypeError):
+        return None
+    return AttackResult(policy=policy, history=list(meta["history"]),
+                        name=str(meta["name"]))
+
+
+def _store_attack(store: ArtifactStore, spec: dict, result: AttackResult,
+                  config: AttackConfig) -> None:
+    policy = result.policy
+    store.put(spec, policy.checkpoint_state(), metadata={
+        "env_id": spec["env_id"],
+        "attack": spec["attack"],
+        "obs_dim": policy.obs_dim,
+        "action_dim": policy.action_dim,
+        "hidden_sizes": list(config.hidden_sizes),
+        "dual_value": policy.dual_value,
+        "history": result.history,
+        "name": result.name,
+    })
+
+
 def train_single_agent_attack(env_id: str, victim: ActorCritic, attack: str,
                               scale: ExperimentScale, seed: int = 0,
                               epsilon: float | None = None, n_envs: int = 1,
-                              callback=None, **config_overrides) -> AttackResult | None:
+                              callback=None, store: ArtifactStore | None = None,
+                              use_cache: bool = True,
+                              **config_overrides) -> AttackResult | None:
     """Train one attack against one victim; None for non-learned attacks.
 
     ``n_envs > 1`` collects each PPO batch from that many env copies via
     the vectorized rollout collector (same samples per iteration).
+
+    Results are cached in the artifact store; a cache hit skips training
+    entirely.  Passing a ``callback`` disables the cache — a callback
+    observes training as it happens, which a cached result cannot replay.
     """
     spec = parse_attack_name(attack)
     epsilon = default_epsilon(env_id) if epsilon is None else epsilon
     if spec["family"] == "random":
         return None
-    adv_env = make_adversary_env(env_id, victim, epsilon, seed=seed, n_envs=n_envs)
     config = attack_config_for(scale, seed, **config_overrides)
+    cacheable = use_cache and callback is None
+    if cacheable:
+        store = store if store is not None else default_store()
+        key_spec = attack_spec("attack", env_id, attack, config, victim,
+                               epsilon=epsilon, n_envs=n_envs)
+        cached = _load_cached_attack(store, key_spec)
+        if cached is not None:
+            return cached
+    adv_env = make_adversary_env(env_id, victim, epsilon, seed=seed, n_envs=n_envs)
     if spec["family"] == "sarl":
-        return train_sarl(adv_env, config, callback=callback)
-    return train_imap(adv_env, spec["regularizer"], config,
-                      use_bias_reduction=spec["use_br"], callback=callback)
+        result = train_sarl(adv_env, config, callback=callback)
+    else:
+        result = train_imap(adv_env, spec["regularizer"], config,
+                            use_bias_reduction=spec["use_br"], callback=callback)
+    if cacheable:
+        _store_attack(store, key_spec, result, config)
+    return result
 
 
 def train_game_attack(game_id: str, victim: ActorCritic, attack: str,
                       scale: ExperimentScale, seed: int = 0,
-                      callback=None, **config_overrides) -> AttackResult:
+                      callback=None, store: ArtifactStore | None = None,
+                      use_cache: bool = True, **config_overrides) -> AttackResult:
     spec = parse_attack_name(attack)
-    adv_env = OpponentEnv(make_game(game_id), victim, seed=seed)
     overrides = {"iterations": scale.game_attack_iterations,
                  "intrinsic_reward_scale": 0.05, **config_overrides}
     config = attack_config_for(scale, seed, **overrides)
+    cacheable = use_cache and callback is None
+    if cacheable:
+        store = store if store is not None else default_store()
+        key_spec = attack_spec("game_attack", game_id, attack, config, victim)
+        cached = _load_cached_attack(store, key_spec)
+        if cached is not None:
+            return cached
+    adv_env = OpponentEnv(make_game(game_id), victim, seed=seed)
     if spec["family"] in ("sarl", "apmarl"):
-        return train_apmarl(adv_env, config, callback=callback)
-    return train_imap(adv_env, spec["regularizer"], config, multi_agent=True,
-                      use_bias_reduction=spec["use_br"], callback=callback)
+        result = train_apmarl(adv_env, config, callback=callback)
+    else:
+        result = train_imap(adv_env, spec["regularizer"], config, multi_agent=True,
+                            use_bias_reduction=spec["use_br"], callback=callback)
+    if cacheable:
+        _store_attack(store, key_spec, result, config)
+    return result
 
 
 def evaluate_cell(env_id: str, victim: ActorCritic, attack: str,

@@ -60,7 +60,11 @@ class Module:
             value = np.asarray(state[name], dtype=np.float64)
             if value.shape != param.data.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
-            param.data = value.copy()
+            # In-place copy: keeps the parameter's original memory layout
+            # (orthogonal init yields F-contiguous weights for wide layers,
+            # and BLAS results depend on layout) so a restored policy is
+            # bit-identical to a live one, not just value-identical.
+            np.copyto(param.data, value)
 
     def copy_from(self, other: "Module") -> None:
         self.load_state_dict(other.state_dict())

@@ -34,6 +34,31 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Saveable optimizer state; subclasses add their moment buffers."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+
+    def _check_buffers(self, buffers, name: str) -> list[np.ndarray]:
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"{name} has {len(buffers)} entries for {len(self.parameters)} parameters")
+        out = []
+        for buf, p in zip(buffers, self.parameters):
+            buf = np.asarray(buf, dtype=np.float64)
+            if buf.shape != p.data.shape:
+                raise ValueError(f"{name} shape {buf.shape} vs parameter {p.data.shape}")
+            # Match the parameter's memory layout (zeros_like preserves it):
+            # ``p.data - lr * m_hat`` inherits the operands' layout, and BLAS
+            # results depend on layout, so C-ordered restored buffers would
+            # flip the parameter layout and break bit-identical resume.
+            restored = np.zeros_like(p.data)
+            np.copyto(restored, buf)
+            out.append(restored)
+        return out
+
 
 class SGD(Optimizer):
     def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0):
@@ -49,6 +74,15 @@ class SGD(Optimizer):
             v += p.grad
             p.data = p.data - self.lr * v
 
+    def state_dict(self) -> dict:
+        return {**super().state_dict(), "momentum": self.momentum,
+                "velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        self._velocity = self._check_buffers(state["velocity"], "velocity")
+
 
 class Adam(Optimizer):
     """Adam with bias correction (Kingma & Ba, 2015)."""
@@ -61,6 +95,19 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def state_dict(self) -> dict:
+        return {**super().state_dict(), "betas": [self.beta1, self.beta2],
+                "eps": self.eps, "step": self._step,
+                "m": [m.copy() for m in self._m], "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.beta1, self.beta2 = (float(b) for b in state["betas"])
+        self.eps = float(state["eps"])
+        self._step = int(state["step"])
+        self._m = self._check_buffers(state["m"], "m")
+        self._v = self._check_buffers(state["v"], "v")
 
     def step(self) -> None:
         self._step += 1

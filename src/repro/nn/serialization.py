@@ -1,8 +1,16 @@
-"""Checkpoint (de)serialization for Modules, backed by ``.npz`` archives."""
+"""Checkpoint (de)serialization for Modules, backed by ``.npz`` archives.
+
+Writes are atomic: the archive is serialized to a sibling temp file and
+``os.replace``\\ d into place, so a reader (or a crashed writer) never
+observes a half-written checkpoint — the file is either the previous
+complete version or the new one.
+"""
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -16,15 +24,26 @@ _META_KEY = "__meta__"
 
 def save_state(state: dict[str, np.ndarray], path: str | Path,
                metadata: dict | None = None) -> Path:
-    """Save a raw state dict (and optional JSON metadata) to ``path``."""
+    """Atomically save a raw state dict (+ optional JSON metadata) to ``path``."""
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
     arrays = dict(state)
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
     ).copy()
-    np.savez(path, **arrays)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name,
+                                    suffix=".tmp.npz")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
 
 
 def save_module(module: Module, path: str | Path, metadata: dict | None = None) -> Path:

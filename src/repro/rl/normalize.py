@@ -90,3 +90,10 @@ class RewardNormalizer:
         if done:
             self._ret = 0.0
         return float(np.clip(reward / float(self.rms.std), -self.clip, self.clip))
+
+    def state(self) -> dict[str, np.ndarray]:
+        return {**self.rms.state(), "ret": np.array(self._ret)}
+
+    def load(self, state: dict[str, np.ndarray]) -> None:
+        self.rms.load(state)
+        self._ret = float(np.asarray(state["ret"]))

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -14,6 +15,8 @@ from .ppo import PPOConfig, PPOUpdater
 from .rollout import collect_rollout, evaluate_policy
 
 __all__ = ["TrainConfig", "TrainResult", "train_ppo"]
+
+CHECKPOINT_KIND = "train_ppo"
 
 
 @dataclass
@@ -42,9 +45,25 @@ class TrainResult:
         return self.history[-1]["mean_return"] if self.history else float("nan")
 
 
+def _capture_train_ppo_checkpoint(iteration, history, policy, updater, rng, env):
+    from ..store.checkpoint import TrainingCheckpoint, capture_rng_states
+
+    return TrainingCheckpoint(
+        kind=CHECKPOINT_KIND, iteration=iteration, history=list(history),
+        state={
+            "policy": policy.checkpoint_state(),
+            "optimizer": updater.optimizer.state_dict(),
+            "rng": rng.bit_generator.state,
+            "env_rngs": capture_rng_states(env),
+        },
+    )
+
+
 def train_ppo(env: Env, config: TrainConfig | None = None,
               policy: ActorCritic | None = None, extra_loss=None,
-              callback=None, telemetry=None) -> TrainResult:
+              callback=None, telemetry=None,
+              checkpoint_path: str | Path | None = None,
+              checkpoint_every: int = 0, resume: bool = True) -> TrainResult:
     """Train an actor-critic with PPO on ``env``.
 
     ``extra_loss(policy, obs, dist) -> Tensor`` lets defenses add their
@@ -52,7 +71,19 @@ def train_ppo(env: Env, config: TrainConfig | None = None,
     adversarial-training loops (ATLA) and curve recording.  ``telemetry``
     (a :class:`repro.telemetry.Telemetry`, default: the ambient one, or
     none) records per-iteration events plus rollout/update timings.
+
+    ``checkpoint_path`` + ``checkpoint_every=k`` write a full-state
+    :class:`~repro.store.checkpoint.TrainingCheckpoint` every k completed
+    iterations (atomic; the previous checkpoint survives a mid-write
+    crash).  With ``resume=True`` (default) an existing checkpoint at
+    that path is loaded and training continues from it, bit-identically
+    to an uninterrupted run.  The checkpoint covers the policy,
+    optimizer, normalizer, loop RNG, and env RNGs — ``extra_loss``
+    closures must be stateless across iterations for resume to hold
+    (the built-in defenses' regularizers are).
     """
+    from ..store.checkpoint import TrainingCheckpoint, restore_rng_states
+
     config = config or TrainConfig()
     telemetry = telemetry if telemetry is not None else current_telemetry()
     rng = np.random.default_rng(config.seed)
@@ -66,8 +97,18 @@ def train_ppo(env: Env, config: TrainConfig | None = None,
                          telemetry=telemetry)
     buffer = RolloutBuffer(config.steps_per_iteration, obs_dim, action_dim)
 
+    start_iteration = 0
     history: list[dict[str, float]] = []
-    for iteration in range(config.iterations):
+    if checkpoint_path is not None and resume and Path(checkpoint_path).exists():
+        ckpt = TrainingCheckpoint.load(checkpoint_path).expect_kind(CHECKPOINT_KIND)
+        policy.load_checkpoint_state(ckpt.state["policy"])
+        updater.optimizer.load_state_dict(ckpt.state["optimizer"])
+        rng.bit_generator.state = ckpt.state["rng"]
+        restore_rng_states(env, ckpt.state["env_rngs"])
+        start_iteration = ckpt.iteration
+        history = list(ckpt.history)
+
+    for iteration in range(start_iteration, config.iterations):
         if telemetry is not None:
             with telemetry.timer("ppo.rollout") as rollout_timer:
                 stats = collect_rollout(env, policy, buffer, rng)
@@ -99,6 +140,11 @@ def train_ppo(env: Env, config: TrainConfig | None = None,
             )
         if callback is not None:
             callback(iteration, policy, record)
+        if (checkpoint_path is not None and checkpoint_every
+                and (iteration + 1) % checkpoint_every == 0):
+            _capture_train_ppo_checkpoint(
+                iteration + 1, history, policy, updater, rng, env,
+            ).save(checkpoint_path)
     return TrainResult(policy=policy, history=history)
 
 

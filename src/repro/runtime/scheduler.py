@@ -20,6 +20,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -44,6 +45,11 @@ class Job:
     kwargs: dict = field(default_factory=dict)
     name: str = ""
     seed: int | None = None  # injected as kwargs["seed"] when set
+    # When True and run_parallel was given a checkpoint_dir, the scheduler
+    # injects checkpoint_path=/checkpoint_every= kwargs so a retried job
+    # resumes from its last on-disk checkpoint instead of from scratch.
+    # fn must accept those keywords (train_ppo / AdversaryTrainer.train do).
+    checkpointable: bool = False
 
 
 @dataclass
@@ -56,6 +62,7 @@ class JobResult:
     error: str | None = None
     traceback: str | None = None
     duration: float = 0.0
+    attempts: int = 1
 
 
 @dataclass
@@ -112,52 +119,66 @@ def _execute_job(job: Job) -> JobResult:
                          duration=time.perf_counter() - start)
 
 
-def _record_schedule(telemetry, report: ScheduleReport) -> None:
-    """Per-job events + crash records into the manifest, in job order.
+def _record_schedule(telemetry, report: ScheduleReport,
+                     retried: list[tuple[int, JobResult]]) -> None:
+    """Per-attempt events + per-job crash records, in deterministic order.
 
     Runs in the submitting process after results are gathered, so event
-    order is deterministic (submission order) regardless of worker
-    completion order.  Worker processes themselves run untelemetered —
-    an open JSONL sink does not cross a fork/spawn boundary.
+    order is deterministic (failed attempts in retry order, then final
+    results in submission order) regardless of worker completion order.
+    Worker processes themselves run untelemetered — an open JSONL sink
+    does not cross a fork/spawn boundary.
     """
+    for attempt, result in retried:
+        telemetry.metrics.counter("scheduler.retries").inc()
+        telemetry.event("job.attempt", payload={
+            "name": result.name, "attempt": attempt, "ok": False,
+            "error": result.error,
+        }, perf={"duration": result.duration})
     for result in report.results:
         telemetry.metrics.counter(
             "scheduler.jobs_ok" if result.ok else "scheduler.jobs_failed").inc()
         telemetry.metrics.observe_duration("scheduler.job", result.duration)
         telemetry.event("job.finished", payload={
             "name": result.name, "ok": result.ok, "error": result.error,
+            "attempts": result.attempts,
         }, perf={"duration": result.duration})
         telemetry.record_job(result.name, result.ok, duration=result.duration,
-                             error=result.error, traceback=result.traceback)
+                             error=result.error, traceback=result.traceback,
+                             attempts=result.attempts)
     telemetry.event("schedule.complete", payload={
         "n_jobs": len(report.results), "n_failed": report.n_failed,
     }, perf={"wall_clock": report.wall_clock, "speedup": report.speedup,
              "max_workers": report.max_workers})
 
 
-def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
-                 mp_context=None, telemetry=None) -> ScheduleReport:
-    """Execute ``jobs`` and return per-job results in submission order.
+def _job_checkpoint_path(checkpoint_dir: Path, job: Job, index: int) -> Path:
+    safe = (job.name or f"job{index}").replace("/", "_").replace(" ", "_")
+    return checkpoint_dir / f"{safe}.ckpt.npz"
 
-    ``max_workers <= 1`` (or a single job) runs inline — no processes, no
-    pickling, identical to a plain for-loop.  Otherwise jobs are farmed
-    out to a process pool; a job that raises, fails to pickle, or loses
-    its worker is reported as a failed :class:`JobResult` while the rest
-    of the sweep completes.  ``telemetry`` (default: the ambient one)
-    receives per-job events and crash records into the run manifest.
-    """
-    jobs = list(jobs)
-    telemetry = telemetry if telemetry is not None else current_telemetry()
-    start = time.perf_counter()
+
+def _prepare_jobs(jobs: list[Job], checkpoint_dir, checkpoint_every: int) -> list[Job]:
+    """Inject checkpoint kwargs into checkpointable jobs (non-destructively)."""
+    if checkpoint_dir is None or not checkpoint_every:
+        return jobs
+    checkpoint_dir = Path(checkpoint_dir)
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    prepared = []
+    for i, job in enumerate(jobs):
+        if job.checkpointable and "checkpoint_path" not in job.kwargs:
+            kwargs = dict(job.kwargs)
+            kwargs["checkpoint_path"] = str(_job_checkpoint_path(checkpoint_dir, job, i))
+            kwargs["checkpoint_every"] = checkpoint_every
+            job = Job(fn=job.fn, args=job.args, kwargs=kwargs, name=job.name,
+                      seed=job.seed, checkpointable=True)
+        prepared.append(job)
+    return prepared
+
+
+def _run_batch(jobs: list[Job], max_workers: int, mp_context) -> list[JobResult]:
+    """One pass over ``jobs``: inline when serial, else via a process pool."""
     if max_workers <= 1 or len(jobs) <= 1:
-        results = [_execute_job(job) for job in jobs]
-        report = ScheduleReport(results=results,
-                                wall_clock=time.perf_counter() - start,
-                                max_workers=1)
-        if telemetry is not None:
-            _record_schedule(telemetry, report)
-        return report
-
+        return [_execute_job(job) for job in jobs]
     if isinstance(mp_context, str):
         import multiprocessing
 
@@ -180,9 +201,51 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
                 results[i] = JobResult(name=jobs[i].name, ok=False,
                                        error=f"{type(exc).__name__}: {exc}",
                                        traceback=traceback.format_exc())
-    report = ScheduleReport(results=[r for r in results if r is not None],
+    return [r for r in results if r is not None]
+
+
+def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
+                 mp_context=None, telemetry=None, retries: int = 0,
+                 checkpoint_dir: str | Path | None = None,
+                 checkpoint_every: int = 0) -> ScheduleReport:
+    """Execute ``jobs`` and return per-job results in submission order.
+
+    ``max_workers <= 1`` (or a single job) runs inline — no processes, no
+    pickling, identical to a plain for-loop.  Otherwise jobs are farmed
+    out to a process pool; a job that raises, fails to pickle, or loses
+    its worker is reported as a failed :class:`JobResult` while the rest
+    of the sweep completes.  ``telemetry`` (default: the ambient one)
+    receives per-attempt events and crash records into the run manifest.
+
+    Fault tolerance: ``retries=k`` requeues each failed job up to k more
+    times.  With ``checkpoint_dir`` + ``checkpoint_every`` set, jobs
+    flagged :attr:`Job.checkpointable` get ``checkpoint_path=`` /
+    ``checkpoint_every=`` kwargs injected, so a crashed training job's
+    retry resumes from its last on-disk checkpoint instead of restarting
+    from scratch; the result is bit-identical to an uninterrupted run.
+    """
+    jobs = list(jobs)
+    telemetry = telemetry if telemetry is not None else current_telemetry()
+    start = time.perf_counter()
+    prepared = _prepare_jobs(jobs, checkpoint_dir, checkpoint_every)
+    results = _run_batch(prepared, max_workers, mp_context)
+    attempts = [1] * len(results)
+    retried: list[tuple[int, JobResult]] = []
+    pending = [i for i, r in enumerate(results) if not r.ok]
+    while pending and max(attempts[i] for i in pending) <= retries:
+        for i in pending:
+            retried.append((attempts[i], results[i]))
+        retry_results = _run_batch([prepared[i] for i in pending],
+                                   max_workers, mp_context)
+        for i, result in zip(pending, retry_results):
+            attempts[i] += 1
+            results[i] = result
+        pending = [i for i in pending if not results[i].ok]
+    for i, result in enumerate(results):
+        result.attempts = attempts[i]
+    report = ScheduleReport(results=results,
                             wall_clock=time.perf_counter() - start,
-                            max_workers=max_workers)
+                            max_workers=1 if max_workers <= 1 else max_workers)
     if telemetry is not None:
-        _record_schedule(telemetry, report)
+        _record_schedule(telemetry, report, retried)
     return report

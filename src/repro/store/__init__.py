@@ -1,0 +1,50 @@
+"""Checkpoint/resume subsystem on a content-addressed artifact store.
+
+* :mod:`repro.store.keys` — canonical-JSON specs hashed to SHA-256 keys.
+* :mod:`repro.store.artifact_store` — atomic, immutable, content-addressed
+  blobs with JSON sidecars and ``list``/``prune``/``verify`` maintenance.
+* :mod:`repro.store.checkpoint` — full-state training snapshots that make
+  resumed runs bit-identical to uninterrupted ones.
+
+``CODE_VERSION`` tags every spec produced by this tree: bumping
+``repro.__version__`` invalidates all content addresses at once, so
+artifacts trained by old code are never silently reused by new code.
+"""
+
+from __future__ import annotations
+
+import repro
+
+from .artifact_store import (
+    ArtifactEntry,
+    ArtifactStore,
+    default_store,
+    default_store_root,
+)
+from .checkpoint import (
+    TrainingCheckpoint,
+    capture_rng_states,
+    join_tree,
+    restore_rng_states,
+    split_tree,
+)
+from .keys import canonical_json, canonicalize, spec_key, state_fingerprint
+
+__all__ = [
+    "CODE_VERSION",
+    "ArtifactEntry",
+    "ArtifactStore",
+    "default_store",
+    "default_store_root",
+    "TrainingCheckpoint",
+    "capture_rng_states",
+    "restore_rng_states",
+    "split_tree",
+    "join_tree",
+    "canonicalize",
+    "canonical_json",
+    "spec_key",
+    "state_fingerprint",
+]
+
+CODE_VERSION = getattr(repro, "__version__", "unknown")

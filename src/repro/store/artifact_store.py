@@ -1,0 +1,267 @@
+"""Content-addressed artifact store: specs in, immutable ``.npz`` blobs out.
+
+Layout (two-hex fan-out keeps directory sizes bounded at scale)::
+
+    <root>/objects/<key[:2]>/<key>.npz    # named arrays (atomic tmp+rename)
+    <root>/objects/<key[:2]>/<key>.json   # sidecar: spec + metadata + stats
+
+where ``key = sha256(canonical_json(spec))``.  The sidecar is written
+*after* the blob, so it doubles as the commit marker: ``list``/``get``
+only believe artifacts whose sidecar exists, and a crash between the two
+writes leaves an orphan blob that ``verify`` reports and ``prune``
+removes.  Artifacts are immutable — a changed config changes the spec,
+which changes the key, which is a different artifact (this is what fixes
+the stale-victim-cache bug: the old filename convention ignored the
+training config entirely).
+
+Every ``get``/``put`` is reported to the ambient telemetry (when one is
+installed) so run manifests record exactly which artifact hashes a run
+consumed and produced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.serialization import load_state, save_state
+from ..telemetry import current_telemetry
+from .keys import canonicalize, spec_key
+
+__all__ = ["ArtifactEntry", "ArtifactStore", "default_store_root", "default_store"]
+
+
+def default_store_root() -> Path:
+    """``$REPRO_STORE`` if set, else ``$REPRO_ARTIFACTS/store`` (default
+    ``artifacts/store``)."""
+    override = os.environ.get("REPRO_STORE")
+    if override:
+        return Path(override)
+    return Path(os.environ.get("REPRO_ARTIFACTS", "artifacts")) / "store"
+
+
+def default_store() -> "ArtifactStore":
+    return ArtifactStore(default_store_root())
+
+
+@dataclass
+class ArtifactEntry:
+    """One committed artifact: its key, provenance spec, and file locations."""
+
+    key: str
+    spec: dict
+    metadata: dict = field(default_factory=dict)
+    created_at: float = 0.0
+    nbytes: int = 0
+    path: Path | None = None      # the .npz blob
+    sidecar: Path | None = None   # the .json commit marker
+
+    @property
+    def group(self) -> str:
+        """Coarse identity used by ``prune(keep_latest=)``: same group =
+        same logical artifact family, differing only in config/seed."""
+        spec = self.spec
+        return ":".join(str(spec.get(field, "")) for field in
+                        ("kind", "env_id", "game_id", "defense", "attack"))
+
+
+class ArtifactStore:
+    """Filesystem-backed content-addressed store (see module docstring)."""
+
+    def __init__(self, root: str | Path, telemetry=None):
+        self.root = Path(root)
+        self._telemetry = telemetry
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def key_for(self, spec: dict) -> str:
+        return spec_key(spec)
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        shard = self.objects_dir / key[:2]
+        return shard / f"{key}.npz", shard / f"{key}.json"
+
+    def _record(self, role: str, entry: ArtifactEntry) -> None:
+        telemetry = self._telemetry if self._telemetry is not None else current_telemetry()
+        if telemetry is not None:
+            telemetry.record_artifact(entry.key, role, kind=entry.spec.get("kind"))
+
+    # ------------------------------------------------------------ write path
+
+    def put(self, spec: dict, state: dict[str, np.ndarray],
+            metadata: dict | None = None) -> ArtifactEntry:
+        """Commit ``state`` under the content address of ``spec``.
+
+        Re-putting an existing key overwrites atomically with identical
+        content (the spec *is* the identity), so concurrent writers of
+        the same cell are idempotent rather than corrupting.
+        """
+        spec = canonicalize(spec)
+        key = spec_key(spec)
+        blob_path, sidecar_path = self._paths(key)
+        save_state(state, blob_path, metadata={"key": key, "spec": spec})
+        entry = ArtifactEntry(
+            key=key, spec=spec, metadata=canonicalize(metadata or {}),
+            created_at=time.time(), nbytes=blob_path.stat().st_size,
+            path=blob_path, sidecar=sidecar_path,
+        )
+        payload = json.dumps({
+            "key": key, "spec": spec, "metadata": entry.metadata,
+            "created_at": entry.created_at, "nbytes": entry.nbytes,
+        }, indent=2, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=sidecar_path.parent,
+                                        prefix=sidecar_path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            os.replace(tmp_name, sidecar_path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        self._record("produced", entry)
+        return entry
+
+    # ------------------------------------------------------------- read path
+
+    def entry(self, spec: dict) -> ArtifactEntry | None:
+        """The committed entry for ``spec``, or None."""
+        return self.entry_by_key(spec_key(canonicalize(spec)))
+
+    def entry_by_key(self, key: str) -> ArtifactEntry | None:
+        blob_path, sidecar_path = self._paths(key)
+        if not sidecar_path.exists() or not blob_path.exists():
+            return None
+        try:
+            with open(sidecar_path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return ArtifactEntry(
+            key=doc.get("key", key), spec=doc.get("spec", {}),
+            metadata=doc.get("metadata", {}),
+            created_at=float(doc.get("created_at", 0.0)),
+            nbytes=int(doc.get("nbytes", 0)),
+            path=blob_path, sidecar=sidecar_path,
+        )
+
+    def contains(self, spec: dict) -> bool:
+        return self.entry(spec) is not None
+
+    def get(self, spec: dict) -> tuple[dict[str, np.ndarray], ArtifactEntry] | None:
+        """Load ``(state, entry)`` for ``spec``; None on miss or unreadable blob."""
+        entry = self.entry(spec)
+        if entry is None:
+            return None
+        try:
+            state, _ = load_state(entry.path)
+        except (OSError, ValueError, zipfile.BadZipFile):
+            return None
+        self._record("consumed", entry)
+        return state, entry
+
+    # ---------------------------------------------------------- maintenance
+
+    def list(self) -> list[ArtifactEntry]:
+        """All committed artifacts, newest first (then by key for ties)."""
+        entries = []
+        for sidecar in sorted(self.objects_dir.glob("*/*.json")):
+            entry = self.entry_by_key(sidecar.stem)
+            if entry is not None:
+                entries.append(entry)
+        return sorted(entries, key=lambda e: (-e.created_at, e.key))
+
+    def __len__(self) -> int:
+        return len(self.list())
+
+    def total_bytes(self) -> int:
+        return sum(entry.nbytes for entry in self.list())
+
+    def remove(self, key: str) -> bool:
+        blob_path, sidecar_path = self._paths(key)
+        removed = False
+        # Sidecar first: an interrupted remove leaves an orphan blob
+        # (invisible, reported by verify), never a sidecar with no blob.
+        for path in (sidecar_path, blob_path):
+            if path.exists():
+                path.unlink()
+                removed = True
+        return removed
+
+    def prune(self, keep_latest: int | None = None, predicate=None) -> list[ArtifactEntry]:
+        """Delete artifacts; returns the removed entries.
+
+        ``keep_latest=N`` keeps the N newest artifacts *per group* (kind
+        + env/game + defense/attack — i.e. per logical cell family) and
+        removes older ones.  ``predicate(entry) -> bool`` removes the
+        entries it selects.  Orphan blobs (no sidecar) are always swept.
+        """
+        removed: list[ArtifactEntry] = []
+        if keep_latest is not None:
+            if keep_latest < 0:
+                raise ValueError("keep_latest must be >= 0")
+            by_group: dict[str, list[ArtifactEntry]] = {}
+            for entry in self.list():  # newest first
+                by_group.setdefault(entry.group, []).append(entry)
+            for entries in by_group.values():
+                for entry in entries[keep_latest:]:
+                    self.remove(entry.key)
+                    removed.append(entry)
+        if predicate is not None:
+            for entry in self.list():
+                if predicate(entry):
+                    self.remove(entry.key)
+                    removed.append(entry)
+        for blob in self.objects_dir.glob("*/*.npz"):
+            if not blob.with_suffix(".json").exists():
+                blob.unlink()
+        return removed
+
+    def verify(self) -> list[str]:
+        """Integrity scan; returns human-readable problem descriptions.
+
+        Checks: sidecar parses, its recorded key matches the spec's
+        content address *and* the filename, the blob exists and loads,
+        and no orphan blobs are lying around.
+        """
+        problems: list[str] = []
+        if not self.objects_dir.exists():
+            return problems
+        for sidecar in sorted(self.objects_dir.glob("*/*.json")):
+            key = sidecar.stem
+            try:
+                with open(sidecar, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                problems.append(f"{key}: unreadable sidecar ({exc})")
+                continue
+            recorded = doc.get("key")
+            if recorded != key:
+                problems.append(f"{key}: sidecar records key {recorded!r}")
+            recomputed = spec_key(doc.get("spec", {}))
+            if recomputed != key:
+                problems.append(f"{key}: spec hashes to {recomputed[:12]}… "
+                                "(spec/key mismatch)")
+            blob = sidecar.with_suffix(".npz")
+            if not blob.exists():
+                problems.append(f"{key}: blob missing")
+                continue
+            try:
+                load_state(blob)
+            except Exception as exc:  # noqa: BLE001 — report, don't crash the scan
+                problems.append(f"{key}: blob unreadable ({exc})")
+        for blob in sorted(self.objects_dir.glob("*/*.npz")):
+            if not blob.with_suffix(".json").exists():
+                problems.append(f"{blob.stem}: orphan blob (no sidecar)")
+        return problems

@@ -57,6 +57,7 @@ class RunManifest:
     jobs: list[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
     events_path: str | None = None
+    artifacts: list[dict] = field(default_factory=list)
 
     @classmethod
     def create(cls, run_id: str, experiment: dict | None = None,
@@ -74,14 +75,31 @@ class RunManifest:
         )
 
     def record_job(self, name: str, ok: bool, duration: float = 0.0,
-                   error: str | None = None, traceback: str | None = None) -> None:
+                   error: str | None = None, traceback: str | None = None,
+                   attempts: int = 1) -> None:
         """Append one job outcome; failed jobs double as crash records."""
         record: dict = {"name": name, "ok": ok, "duration": duration}
+        if attempts != 1:
+            record["attempts"] = attempts
         if error is not None:
             record["error"] = error
         if traceback is not None:
             record["traceback"] = traceback
         self.jobs.append(record)
+
+    def record_artifact(self, key: str, role: str, kind: str | None = None) -> None:
+        """Record one artifact-store interaction (content hash + role).
+
+        ``role`` is ``"consumed"`` (cache hit the run depended on) or
+        ``"produced"`` (the run wrote it).  Repeat interactions with the
+        same (key, role) are deduplicated — a sweep may read one victim
+        hundreds of times.
+        """
+        record = {"key": key, "role": role}
+        if kind is not None:
+            record["kind"] = kind
+        if record not in self.artifacts:
+            self.artifacts.append(record)
 
     def finalize(self, status: str = "ok", error: str | None = None,
                  clock: Clock | None = None, metrics: dict | None = None) -> None:

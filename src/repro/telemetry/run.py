@@ -135,11 +135,22 @@ class Telemetry:
     # ------------------------------------------------------------- lifecycle
 
     def record_job(self, name: str, ok: bool, duration: float = 0.0,
-                   error: str | None = None, traceback: str | None = None) -> None:
+                   error: str | None = None, traceback: str | None = None,
+                   attempts: int = 1) -> None:
         """Forward a job outcome to the manifest (no-op without one)."""
         if self.manifest is not None:
             self.manifest.record_job(name, ok, duration=duration,
-                                     error=error, traceback=traceback)
+                                     error=error, traceback=traceback,
+                                     attempts=attempts)
+
+    def record_artifact(self, key: str, role: str, kind: str | None = None) -> None:
+        """Record an artifact-store hit/write: manifest entry + event."""
+        if self.manifest is not None:
+            self.manifest.record_artifact(key, role, kind=kind)
+        payload = {"key": key, "role": role}
+        if kind is not None:
+            payload["kind"] = kind
+        self.event("artifact", payload=payload)
 
     def finalize(self, status: str = "ok", error: str | None = None) -> None:
         """Seal the run: final manifest (with metrics snapshot), close sink."""

@@ -1,14 +1,21 @@
-"""Victim zoo: train-and-cache victims per (env, defense, budget, seed).
+"""Victim zoo: train-and-cache victims per (env, defense, config, seed).
 
-Checkpoints land in ``$REPRO_ARTIFACTS/zoo`` (default ``artifacts/zoo``)
-as ``.npz`` files with enough metadata to rebuild the policy without
-retraining.  Sparse tasks train on their shaped-reward twins (the
-victim's private reward); evaluation always runs on the published task.
+Victims live in the content-addressed :class:`~repro.store.ArtifactStore`
+(default ``$REPRO_ARTIFACTS/store``), keyed by the SHA-256 of the full
+training spec — env id, defense name, the complete
+:class:`~repro.defenses.DefenseTrainConfig` (including its nested PPO
+config), budget tag, seed, and the code-version tag.  Any change to any
+of those fields produces a different key, so a cached victim can never
+be served for a request it wasn't trained for.  Sparse tasks train on
+their shaped-reward twins (the victim's private reward); evaluation
+always runs on the published task.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import warnings
 from dataclasses import replace
 from pathlib import Path
 
@@ -20,14 +27,14 @@ from ..envs.core import TimeLimit
 from ..envs.locomotion import LocomotionEnv
 from ..envs.manipulation import FetchReachEnv
 from ..envs.navigation import Ant4RoomsEnv, AntUMazeEnv
-from ..nn.serialization import load_state, save_state
 from ..rl.policy import ActorCritic
 from ..rl.trainer import TrainConfig, train_ppo
+from ..store import CODE_VERSION, ArtifactStore, default_store
 from .game_env import VictimGameEnv
 from .opponents import MixtureOpponent, Rammer, WeakBlocker, WeakGoalie
 
 __all__ = ["artifacts_dir", "training_env_factory", "get_victim", "get_game_victim",
-           "victim_cache_path"]
+           "victim_cache_path", "victim_spec", "game_victim_spec"]
 
 
 def artifacts_dir() -> Path:
@@ -59,55 +66,134 @@ def training_env_factory(env_id: str):
 
 
 def victim_cache_path(env_id: str, defense: str, budget_tag: str, seed: int) -> Path:
+    """Legacy pre-store zoo layout; kept for inspecting old artifact dirs.
+
+    The store keys on the full training config — this path does not, which
+    is exactly the stale-cache bug the store migration fixed.  New code
+    should go through :func:`get_victim` / :class:`~repro.store.ArtifactStore`.
+    """
     safe = env_id.replace("/", "_")
     return artifacts_dir() / f"{safe}__{defense}__{budget_tag}__seed{seed}.npz"
 
 
-def _load_cached(path: Path) -> ActorCritic | None:
-    if not path.exists():
+def victim_spec(env_id: str, defense: str, config: DefenseTrainConfig,
+                budget_tag: str, seed: int) -> dict:
+    """Content-address spec for a single-agent victim.
+
+    Includes the *entire* defense config (nested PPO config and all), so
+    e.g. two ``sa_ppo`` victims trained with different ``epsilon`` hash to
+    different keys.
+    """
+    return {
+        "kind": "victim",
+        "env_id": env_id,
+        "defense": defense,
+        "budget_tag": budget_tag,
+        "seed": seed,
+        "config": dataclasses.asdict(config),
+        "code_version": CODE_VERSION,
+    }
+
+
+def game_victim_spec(game_id: str, iterations: int, steps_per_iteration: int,
+                     hidden_sizes: tuple[int, ...], hardening_iterations: int,
+                     hardening_attack_iterations: int, budget_tag: str,
+                     seed: int) -> dict:
+    """Content-address spec for a two-player game victim."""
+    return {
+        "kind": "game_victim",
+        "env_id": game_id,
+        "defense": "selfplay",
+        "budget_tag": budget_tag,
+        "seed": seed,
+        "config": {
+            "iterations": iterations,
+            "steps_per_iteration": steps_per_iteration,
+            "hidden_sizes": list(hidden_sizes),
+            "hardening_iterations": hardening_iterations,
+            "hardening_attack_iterations": hardening_attack_iterations,
+        },
+        "code_version": CODE_VERSION,
+    }
+
+
+def _load_cached(store: ArtifactStore, spec: dict, *, env_id: str, defense: str,
+                 obs_dim: int, action_dim: int,
+                 hidden_sizes: tuple[int, ...]) -> ActorCritic | None:
+    """Store lookup + metadata validation; None means "retrain".
+
+    The content hash already guarantees the spec matched, but the stored
+    *metadata* is re-validated against the request (env id, defense,
+    dimensions, architecture) as defense in depth: a corrupted or
+    hand-edited sidecar falls back to retraining instead of silently
+    serving a mismatched policy.
+    """
+    hit = store.get(spec)
+    if hit is None:
         return None
-    state, meta = load_state(path)
-    policy = ActorCritic(
-        int(meta["obs_dim"]), int(meta["action_dim"]),
-        hidden_sizes=tuple(meta["hidden_sizes"]),
-    )
-    params = {k: v for k, v in state.items() if not k.startswith("__norm__")}
-    policy.load_state_dict(params)
-    norm = {k[len("__norm__"):]: v for k, v in state.items() if k.startswith("__norm__")}
-    if norm:
-        policy.normalizer.load(norm)
+    state, entry = hit
+    expected = {
+        "env_id": env_id,
+        "defense": defense,
+        "obs_dim": obs_dim,
+        "action_dim": action_dim,
+        "hidden_sizes": list(hidden_sizes),
+    }
+    for field, want in expected.items():
+        got = entry.metadata.get(field)
+        if got != want:
+            warnings.warn(
+                f"zoo: cached victim {entry.key[:12]} metadata mismatch on "
+                f"{field!r} (stored {got!r}, requested {want!r}); retraining",
+                stacklevel=3,
+            )
+            return None
+    try:
+        policy = ActorCritic(obs_dim, action_dim, hidden_sizes=tuple(hidden_sizes))
+        params = {k: v for k, v in state.items() if not k.startswith("__norm__")}
+        policy.load_state_dict(params)
+        norm = {k[len("__norm__"):]: v
+                for k, v in state.items() if k.startswith("__norm__")}
+        if norm:
+            policy.normalizer.load(norm)
+    except (KeyError, ValueError) as exc:
+        warnings.warn(f"zoo: cached victim {entry.key[:12]} unloadable "
+                      f"({exc}); retraining", stacklevel=3)
+        return None
     policy.freeze_normalizer()
     return policy
-
-
-def _save(policy: ActorCritic, path: Path, meta: dict) -> None:
-    save_state(policy.checkpoint_state(), path, metadata=meta)
 
 
 def get_victim(env_id: str, defense: str = "ppo",
                config: DefenseTrainConfig | None = None,
                budget_tag: str = "default", seed: int = 0,
-               force_retrain: bool = False) -> ActorCritic:
+               force_retrain: bool = False,
+               store: ArtifactStore | None = None) -> ActorCritic:
     """Return (training if necessary) a cached single-agent victim."""
     config = config or DefenseTrainConfig(seed=seed)
     if config.seed != seed:
         config = replace(config, seed=seed)
-    path = victim_cache_path(env_id, defense, budget_tag, seed)
+    store = store if store is not None else default_store()
+    spec = victim_spec(env_id, defense, config, budget_tag, seed)
+    factory = training_env_factory(env_id)
+    probe = factory()
+    obs_dim = probe.observation_space.shape[0]
+    action_dim = probe.action_space.shape[0]
     if not force_retrain:
-        cached = _load_cached(path)
+        cached = _load_cached(store, spec, env_id=env_id, defense=defense,
+                              obs_dim=obs_dim, action_dim=action_dim,
+                              hidden_sizes=config.hidden_sizes)
         if cached is not None:
             return cached
     trainer = get_defense(defense)
-    factory = training_env_factory(env_id)
     policy = trainer(factory, config)
-    probe = factory()
-    _save(policy, path, {
+    store.put(spec, policy.checkpoint_state(), metadata={
         "env_id": env_id,
         "defense": defense,
         "budget_tag": budget_tag,
         "seed": seed,
-        "obs_dim": probe.observation_space.shape[0],
-        "action_dim": probe.action_space.shape[0],
+        "obs_dim": obs_dim,
+        "action_dim": action_dim,
         "hidden_sizes": list(config.hidden_sizes),
     })
     return policy
@@ -128,7 +214,8 @@ def get_game_victim(game_id: str, iterations: int = 40, steps_per_iteration: int
                     hidden_sizes: tuple[int, ...] = (64, 64),
                     hardening_iterations: int = 30, hardening_attack_iterations: int = 15,
                     budget_tag: str = "default", seed: int = 0,
-                    force_retrain: bool = False) -> ActorCritic:
+                    force_retrain: bool = False,
+                    store: ArtifactStore | None = None) -> ActorCritic:
     """Return (training if necessary) a cached game victim (runner/kicker).
 
     The recipe proxies the paper's self-play zoo: (1) PPO against a
@@ -137,12 +224,19 @@ def get_game_victim(game_id: str, iterations: int = 40, steps_per_iteration: int
     victim training against a mixture including that learned opponent.
     Set ``hardening_iterations=0`` to skip phase 2.
     """
-    path = victim_cache_path(game_id, "selfplay", budget_tag, seed)
+    store = store if store is not None else default_store()
+    spec = game_victim_spec(game_id, iterations, steps_per_iteration, hidden_sizes,
+                            hardening_iterations, hardening_attack_iterations,
+                            budget_tag, seed)
+    game = make_game(game_id)
+    obs_dim = game.victim_observation_space.shape[0]
+    action_dim = game.victim_action_space.shape[0]
     if not force_retrain:
-        cached = _load_cached(path)
+        cached = _load_cached(store, spec, env_id=game_id, defense="selfplay",
+                              obs_dim=obs_dim, action_dim=action_dim,
+                              hidden_sizes=hidden_sizes)
         if cached is not None:
             return cached
-    game = make_game(game_id)
     if game_id.startswith("YouShallNotPass"):
         scripted = [WeakBlocker(seed=seed), WeakBlocker(seed=seed + 1, aggressiveness=0.9),
                     Rammer(seed=seed)]
@@ -180,13 +274,13 @@ def get_game_victim(game_id: str, iterations: int = 40, steps_per_iteration: int
         policy = result.policy
 
     policy.freeze_normalizer()
-    _save(policy, path, {
+    store.put(spec, policy.checkpoint_state(), metadata={
         "env_id": game_id,
         "defense": "selfplay",
         "budget_tag": budget_tag,
         "seed": seed,
-        "obs_dim": game.victim_observation_space.shape[0],
-        "action_dim": game.victim_action_space.shape[0],
+        "obs_dim": obs_dim,
+        "action_dim": action_dim,
         "hidden_sizes": list(hidden_sizes),
     })
     return policy

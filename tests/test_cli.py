@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.cli import build_parser
+from repro.experiments.cli import apply_resume, build_parser
 
 
 class TestParser:
@@ -26,8 +26,12 @@ class TestParser:
         assert args.attacks == ["sarl", "imap-pc"]
 
     def test_rejects_unknown_target(self):
+        # Validation lives in apply_resume, not argparse choices: with
+        # nargs="*" argparse would reject the empty default of a bare
+        # --resume invocation.
+        parser = build_parser()
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["table9"])
+            apply_resume(parser.parse_args(["table9"]), parser)
 
     def test_rejects_unknown_scale(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,293 @@
+"""Kill-and-resume battery: a run resumed from a checkpoint is
+bit-identical to an uninterrupted one.
+
+Extends the PR-2 determinism battery (tests/test_determinism.py) with
+the checkpoint/resume contract:
+
+1. ``train_ppo`` and ``AdversaryTrainer`` resumed from an on-disk
+   checkpoint reproduce the uninterrupted run's final parameters,
+   history records, *and* telemetry event payloads (the interrupted
+   prefix plus the resumed suffix equals the uninterrupted stream).
+2. Resume works across process boundaries (``run_parallel`` workers).
+3. The scheduler's ``retries=`` requeues a crashed job, which picks up
+   from its last checkpoint — same final history as never crashing.
+4. A completed sweep cell re-runs entirely from the artifact store —
+   nothing retrains.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.attacks import AttackConfig, StatePerturbationEnv
+from repro.attacks.imap.regularizers import make_regularizer
+from repro.attacks.trainer import AdversaryTrainer
+from repro.experiments.config import ExperimentScale
+from repro.experiments.runner import (
+    evaluate_cell,
+    train_single_agent_attack,
+)
+from repro.rl import TrainConfig, train_ppo
+from repro.runtime import Job, run_parallel
+from repro.telemetry import ManualClock, Telemetry, use_telemetry
+
+SEED = 7
+STEPS = 128
+
+
+@pytest.fixture(scope="module")
+def small_victim():
+    result = train_ppo(envs.make("Hopper-v0"),
+                       TrainConfig(iterations=1, steps_per_iteration=256, seed=0))
+    result.policy.freeze_normalizer()
+    return result.policy
+
+
+def _ppo_config(iterations: int) -> TrainConfig:
+    return TrainConfig(iterations=iterations, steps_per_iteration=STEPS, seed=SEED)
+
+
+def _memory_telemetry() -> Telemetry:
+    return Telemetry.in_memory(clock=ManualClock(0.0, auto_tick=0.25))
+
+
+def _payloads(telemetry: Telemetry) -> list[dict]:
+    # seq restarts at 0 in a resumed run, so compare payloads only.
+    return [e["payload"] for e in telemetry.sink.events]
+
+
+def _assert_params_equal(a, b) -> None:
+    sa, sb = a.state_dict(), b.state_dict()
+    assert sorted(sa) == sorted(sb)
+    for key, value in sa.items():
+        np.testing.assert_array_equal(value, sb[key], err_msg=key)
+
+
+class TestTrainPpoResume:
+    def test_resume_bit_identical(self, tmp_path):
+        full_t = _memory_telemetry()
+        full = train_ppo(envs.make("Hopper-v0"), _ppo_config(4), telemetry=full_t)
+
+        ckpt = tmp_path / "ppo.ckpt.npz"
+        part1_t = _memory_telemetry()
+        train_ppo(envs.make("Hopper-v0"), _ppo_config(2), telemetry=part1_t,
+                  checkpoint_path=ckpt, checkpoint_every=1)
+        part2_t = _memory_telemetry()
+        resumed = train_ppo(envs.make("Hopper-v0"), _ppo_config(4),
+                            telemetry=part2_t, checkpoint_path=ckpt,
+                            checkpoint_every=1)
+
+        assert resumed.history == full.history
+        _assert_params_equal(resumed.policy, full.policy)
+        assert _payloads(part1_t) + _payloads(part2_t) == _payloads(full_t)
+
+    def test_crash_mid_iteration_resumes_from_last_boundary(self, tmp_path):
+        full = train_ppo(envs.make("Hopper-v0"), _ppo_config(3))
+
+        class Injected(Exception):
+            pass
+
+        def crash(iteration, policy, record):
+            if iteration == 1:
+                raise Injected
+
+        ckpt = tmp_path / "ppo.ckpt.npz"
+        with pytest.raises(Injected):
+            train_ppo(envs.make("Hopper-v0"), _ppo_config(3), callback=crash,
+                      checkpoint_path=ckpt, checkpoint_every=1)
+        # The crash hit during iteration 1, after iteration 0's checkpoint:
+        # the resume replays iteration 1 from that boundary, bit-identically.
+        resumed = train_ppo(envs.make("Hopper-v0"), _ppo_config(3),
+                            checkpoint_path=ckpt, checkpoint_every=1)
+        assert resumed.history == full.history
+        _assert_params_equal(resumed.policy, full.policy)
+
+    def test_resume_ignored_without_checkpoint(self, tmp_path):
+        full = train_ppo(envs.make("Hopper-v0"), _ppo_config(2))
+        fresh = train_ppo(envs.make("Hopper-v0"), _ppo_config(2),
+                          checkpoint_path=tmp_path / "none.ckpt.npz",
+                          checkpoint_every=1)
+        assert fresh.history == full.history
+
+
+def _make_adversary_trainer(victim, iterations, telemetry=None,
+                            regularizer="pc", use_br=False):
+    env = StatePerturbationEnv(envs.make("Hopper-v0"), victim, epsilon=0.6, seed=0)
+    config = AttackConfig(iterations=iterations, steps_per_iteration=STEPS,
+                          seed=3, use_bias_reduction=use_br)
+    reg = make_regularizer(regularizer, config) if regularizer else None
+    return AdversaryTrainer(env, config, regularizer=reg, telemetry=telemetry)
+
+
+class TestAdversaryResume:
+    @pytest.mark.parametrize("regularizer,use_br", [
+        ("pc", False),   # union buffer B state
+        ("pc", True),    # + bias-reduction tau/lambda state
+        ("d", False),    # mimic policy + its Adam + reservoir state
+        (None, False),   # plain SA-RL
+    ], ids=["pc", "pc+br", "d", "sarl"])
+    def test_resume_bit_identical(self, tmp_path, small_victim, regularizer, use_br):
+        full_t = _memory_telemetry()
+        full = _make_adversary_trainer(small_victim, 4, full_t,
+                                       regularizer, use_br).train()
+
+        ckpt = tmp_path / "adv.ckpt.npz"
+        part1_t = _memory_telemetry()
+        _make_adversary_trainer(small_victim, 2, part1_t, regularizer, use_br) \
+            .train(checkpoint_path=ckpt, checkpoint_every=1)
+        part2_t = _memory_telemetry()
+        resumed = _make_adversary_trainer(small_victim, 4, part2_t,
+                                          regularizer, use_br) \
+            .train(checkpoint_path=ckpt, checkpoint_every=1)
+
+        assert resumed.history == full.history
+        _assert_params_equal(resumed.policy, full.policy)
+        assert _payloads(part1_t) + _payloads(part2_t) == _payloads(full_t)
+
+    def test_checkpoint_kind_mismatch_rejected(self, tmp_path, small_victim):
+        ckpt = tmp_path / "adv.ckpt.npz"
+        _make_adversary_trainer(small_victim, 1).train(checkpoint_path=ckpt,
+                                                       checkpoint_every=1)
+        with pytest.raises(ValueError, match="cannot resume"):
+            train_ppo(envs.make("Hopper-v0"), _ppo_config(2),
+                      checkpoint_path=ckpt, checkpoint_every=1)
+
+
+def _train_history_job(checkpoint_path=None, checkpoint_every=0,
+                       marker=None, iterations=3, seed=None):
+    """Picklable training cell; crashes once per marker file (first attempt)."""
+    def callback(iteration, policy, record):
+        if marker is not None and iteration == 1 and not os.path.exists(marker):
+            open(marker, "w").close()
+            raise RuntimeError("injected crash")
+
+    config = TrainConfig(iterations=iterations, steps_per_iteration=64, seed=5)
+    result = train_ppo(envs.make("Hopper-v0"), config, callback=callback,
+                       checkpoint_path=checkpoint_path,
+                       checkpoint_every=checkpoint_every)
+    return result.history
+
+
+class TestSchedulerFaultTolerance:
+    def test_retry_resumes_from_checkpoint(self, tmp_path):
+        baseline = _train_history_job(iterations=3)
+
+        telemetry = Telemetry.in_memory()
+        marker = tmp_path / "crashed-once"
+        jobs = [Job(fn=_train_history_job, name="cell-a",
+                    kwargs={"marker": str(marker)}, checkpointable=True)]
+        with use_telemetry(telemetry):
+            report = run_parallel(jobs, retries=1,
+                                  checkpoint_dir=tmp_path / "ckpts",
+                                  checkpoint_every=1)
+
+        assert report.n_failed == 0
+        assert report.results[0].attempts == 2
+        assert marker.exists()
+        assert (tmp_path / "ckpts" / "cell-a.ckpt.npz").exists()
+        # The retry resumed from iteration 0's checkpoint and finished
+        # exactly as a run that never crashed.
+        assert report.values()[0] == baseline
+
+        # Inline execution also records the job's own ppo.iteration events;
+        # keep only the scheduler's.
+        sched = [e for e in telemetry.sink.events
+                 if e["type"] in ("job.attempt", "job.finished", "schedule.complete")]
+        assert [e["type"] for e in sched] == [
+            "job.attempt", "job.finished", "schedule.complete"]
+        attempt = sched[0]["payload"]
+        assert attempt["name"] == "cell-a" and "injected crash" in attempt["error"]
+        finished = sched[1]["payload"]
+        assert finished["ok"] is True and finished["attempts"] == 2
+
+    def test_retries_exhausted_reports_failure(self):
+        telemetry = Telemetry.in_memory()
+        jobs = [Job(fn=_always_boom, name="doomed")]
+        report = run_parallel(jobs, retries=2, telemetry=telemetry)
+        assert report.n_failed == 1
+        assert report.results[0].attempts == 3
+        attempts = [e for e in telemetry.sink.events if e["type"] == "job.attempt"]
+        assert len(attempts) == 2  # attempts 1 and 2 failed and were requeued
+
+    def test_cross_process_resume(self, tmp_path):
+        baseline = _train_history_job(iterations=3)
+        ckpt = tmp_path / "cell.ckpt.npz"
+        # Interrupted prefix in this process ...
+        _train_history_job(checkpoint_path=str(ckpt), checkpoint_every=1,
+                           iterations=2)
+        # ... finished in fresh worker processes via the pool.
+        jobs = [Job(fn=_train_history_job, name=f"resume{i}",
+                    kwargs={"checkpoint_path": str(ckpt), "checkpoint_every": 0})
+                for i in range(2)]
+        report = run_parallel(jobs, max_workers=2)
+        assert report.n_failed == 0, report.failures
+        assert report.values()[0] == baseline
+        assert report.values()[1] == baseline
+
+
+def _always_boom(seed=None):
+    raise RuntimeError("always fails")
+
+
+TINY_SCALE = ExperimentScale(
+    name="tiny", victim_iterations=1, attack_iterations=2,
+    steps_per_iteration=128, eval_episodes=3, game_victim_iterations=1,
+    game_hardening_iterations=0, game_attack_iterations=1,
+)
+
+
+class TestSweepServedFromStore:
+    def test_rerun_retrains_nothing(self, small_victim, monkeypatch):
+        first = train_single_agent_attack("Hopper-v0", small_victim, "imap-pc",
+                                          TINY_SCALE, seed=0)
+        eval_first = evaluate_cell("Hopper-v0", small_victim, "imap-pc", first,
+                                   TINY_SCALE)
+
+        from repro.experiments import runner
+
+        def retrained(*args, **kwargs):
+            raise AssertionError("cache miss: sweep cell retrained")
+
+        monkeypatch.setattr(runner, "train_imap", retrained)
+        monkeypatch.setattr(runner, "train_sarl", retrained)
+        second = train_single_agent_attack("Hopper-v0", small_victim, "imap-pc",
+                                           TINY_SCALE, seed=0)
+        assert second.history == first.history
+        assert second.name == first.name
+        _assert_params_equal(second.policy, first.policy)
+        eval_second = evaluate_cell("Hopper-v0", small_victim, "imap-pc", second,
+                                    TINY_SCALE)
+        assert eval_second.mean_reward == eval_first.mean_reward
+        assert eval_second.asr == eval_first.asr
+
+    def test_victim_change_invalidates_cache(self, small_victim, monkeypatch):
+        train_single_agent_attack("Hopper-v0", small_victim, "sarl",
+                                  TINY_SCALE, seed=0)
+        other_victim = train_ppo(
+            envs.make("Hopper-v0"),
+            TrainConfig(iterations=1, steps_per_iteration=256, seed=9)).policy
+        other_victim.freeze_normalizer()
+
+        calls = []
+        from repro.attacks import train_sarl as real_train_sarl
+        from repro.experiments import runner
+        monkeypatch.setattr(
+            runner, "train_sarl",
+            lambda *a, **k: calls.append(1) or real_train_sarl(*a, **k))
+        train_single_agent_attack("Hopper-v0", other_victim, "sarl",
+                                  TINY_SCALE, seed=0)
+        assert calls  # different victim fingerprint ⇒ cache miss ⇒ retrain
+
+    def test_callback_bypasses_cache(self, small_victim):
+        seen = []
+        train_single_agent_attack("Hopper-v0", small_victim, "sarl", TINY_SCALE,
+                                  seed=1, callback=lambda i, p, r: seen.append(i))
+        assert seen
+        seen.clear()
+        train_single_agent_attack("Hopper-v0", small_victim, "sarl", TINY_SCALE,
+                                  seed=1, callback=lambda i, p, r: seen.append(i))
+        assert seen  # second run trained again so the callback fired

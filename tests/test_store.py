@@ -1,0 +1,292 @@
+"""Artifact store: canonical keys (property tests), CRUD, prune, verify,
+optimizer state round-trips, and the store-gc CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import MLP, Adam, SGD
+from repro.store import (
+    ArtifactStore,
+    canonical_json,
+    canonicalize,
+    default_store,
+    default_store_root,
+    join_tree,
+    spec_key,
+    split_tree,
+    state_fingerprint,
+)
+
+# --- canonicalization ---------------------------------------------------
+
+json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(-2**53, 2**53), st.text(max_size=8),
+    st.floats(allow_nan=False, allow_infinity=False),
+)
+json_trees = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+def shuffle_dicts(obj, rng):
+    """Rebuild ``obj`` with every dict's insertion order permuted."""
+    if isinstance(obj, dict):
+        keys = list(obj)
+        rng.shuffle(keys)
+        return {k: shuffle_dicts(obj[k], rng) for k in keys}
+    if isinstance(obj, list):
+        return [shuffle_dicts(v, rng) for v in obj]
+    return obj
+
+
+class TestCanonicalKeys:
+    @settings(deadline=None, max_examples=80)
+    @given(tree=json_trees, seed=st.integers(0, 2**31 - 1))
+    def test_key_invariant_under_dict_ordering(self, tree, seed):
+        shuffled = shuffle_dicts(tree, np.random.default_rng(seed))
+        assert spec_key(tree) == spec_key(shuffled)
+
+    @settings(deadline=None, max_examples=80)
+    @given(tree=json_trees)
+    def test_canonical_json_round_trips(self, tree):
+        """Parsing the canonical form and re-canonicalizing is a fixpoint —
+        float formatting via repr survives a JSON round trip exactly."""
+        text = canonical_json(tree)
+        assert canonical_json(json.loads(text)) == text
+
+    @settings(deadline=None, max_examples=80)
+    @given(x=st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_formatting_exact(self, x):
+        assert json.loads(canonical_json({"x": x}))["x"] == x
+
+    def test_tuple_and_list_hash_identically(self):
+        assert spec_key({"a": (1, 2)}) == spec_key({"a": [1, 2]})
+
+    def test_numpy_scalars_normalize(self):
+        assert spec_key({"a": np.int64(3)}) == spec_key({"a": 3})
+        assert spec_key({"a": np.float64(0.5)}) == spec_key({"a": 0.5})
+
+    def test_int_and_float_are_distinct(self):
+        assert spec_key({"a": 1}) != spec_key({"a": 1.0})
+
+    def test_rejects_nan_and_nonstring_keys(self):
+        with pytest.raises(ValueError):
+            canonicalize({"a": float("nan")})
+        with pytest.raises(TypeError):
+            canonicalize({1: "x"})
+        with pytest.raises(TypeError):
+            canonicalize({"a": object()})
+
+    def test_fingerprint_sensitive_to_values_and_names(self):
+        state = {"w": np.ones((2, 2)), "b": np.zeros(2)}
+        assert state_fingerprint(state) == state_fingerprint(dict(reversed(state.items())))
+        assert state_fingerprint(state) != state_fingerprint(
+            {"w": np.ones((2, 2)), "b": np.ones(2)})
+        assert state_fingerprint({"w": np.ones(4)}) != state_fingerprint(
+            {"w2": np.ones(4)})
+
+
+# --- state-tree flattening ----------------------------------------------
+
+class TestSplitTree:
+    def test_round_trip(self):
+        tree = {
+            "params": {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)},
+            "opt": {"step": 7, "m": [np.ones(2), np.zeros(2)]},
+            "rng": {"state": 12345678901234567890, "inc": 3},
+            "none": None, "flag": True, "name": "x",
+        }
+        arrays, json_tree = split_tree(tree)
+        restored = join_tree(json_tree, arrays)
+        assert restored["opt"]["step"] == 7
+        assert restored["rng"] == tree["rng"]
+        np.testing.assert_array_equal(restored["params"]["w"], tree["params"]["w"])
+        np.testing.assert_array_equal(restored["opt"]["m"][0], np.ones(2))
+
+    def test_rejects_slash_keys(self):
+        with pytest.raises(TypeError):
+            split_tree({"a/b": 1})
+
+
+# --- store CRUD ---------------------------------------------------------
+
+SPEC = {"kind": "victim", "env_id": "Hopper-v0", "defense": "ppo", "seed": 0}
+
+
+def _state(value=1.0):
+    return {"w": np.full((3, 3), value), "b": np.zeros(3)}
+
+
+class TestArtifactStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put(SPEC, _state(), metadata={"obs_dim": 11})
+        assert entry.key == spec_key(SPEC)
+        state, got = store.get(SPEC)
+        np.testing.assert_array_equal(state["w"], np.full((3, 3), 1.0))
+        assert got.metadata == {"obs_dim": 11}
+        assert store.contains(SPEC)
+        assert len(store) == 1
+
+    def test_get_miss_returns_none(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.get(SPEC) is None
+        assert not store.contains(SPEC)
+
+    def test_default_store_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "elsewhere"))
+        assert default_store_root() == tmp_path / "elsewhere"
+        store = default_store()
+        store.put(SPEC, _state())
+        assert (tmp_path / "elsewhere" / "objects").exists()
+
+    def test_reput_is_idempotent(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(SPEC, _state())
+        store.put(SPEC, _state())
+        assert len(store) == 1
+
+    def test_orphan_blob_is_invisible_and_pruned(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put(SPEC, _state())
+        entry.sidecar.unlink()  # simulate a crash between blob and sidecar
+        assert store.get(SPEC) is None
+        assert any("orphan" in p for p in store.verify())
+        store.prune()
+        assert not entry.path.exists()
+
+    def test_verify_detects_spec_tampering(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put(SPEC, _state())
+        doc = json.loads(entry.sidecar.read_text())
+        doc["spec"]["seed"] = 99
+        entry.sidecar.write_text(json.dumps(doc))
+        assert any("mismatch" in p for p in store.verify())
+
+    def test_prune_keep_latest_per_group(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for seed in range(3):
+            entry = store.put({**SPEC, "seed": seed}, _state(seed))
+            # Pin distinct, ordered created_at stamps so "newest" is unambiguous.
+            doc = json.loads(entry.sidecar.read_text())
+            doc["created_at"] = float(seed)
+            entry.sidecar.write_text(json.dumps(doc))
+        other = {"kind": "attack", "env_id": "Ant-v0", "attack": "sarl", "seed": 0}
+        store.put(other, _state())
+        removed = store.prune(keep_latest=1)
+        assert len(removed) == 2  # two oldest victims; the attack family stays
+        remaining = {e.spec.get("seed") for e in store.list()
+                     if e.spec["kind"] == "victim"}
+        assert remaining == {2}
+        assert store.contains(other)
+
+    def test_records_artifacts_in_manifest(self, tmp_path):
+        from repro.telemetry import Telemetry, use_telemetry
+
+        store = ArtifactStore(tmp_path / "store")
+        telemetry = Telemetry.to_dir(tmp_path / "run", run_id="r")
+        with use_telemetry(telemetry):
+            store.put(SPEC, _state())
+            store.get(SPEC)
+        telemetry.finalize("ok")
+        artifacts = telemetry.manifest.artifacts
+        assert {a["role"] for a in artifacts} == {"produced", "consumed"}
+        assert all(a["key"] == spec_key(SPEC) for a in artifacts)
+
+
+# --- optimizer state dicts ----------------------------------------------
+
+def _make_net_and_batch(seed=0):
+    rng = np.random.default_rng(seed)
+    net = MLP(4, (8,), 2, rng=rng)
+    x = rng.normal(size=(16, 4))
+    y = rng.normal(size=(16, 2))
+    return net, x, y
+
+
+def _train_steps(net, opt, x, y, steps):
+    for _ in range(steps):
+        pred = net(x)
+        loss = ((pred - y) ** 2).mean()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+
+
+@pytest.mark.parametrize("make_opt", [
+    lambda params: SGD(params, lr=0.05, momentum=0.9),
+    lambda params: Adam(params, lr=0.01),
+], ids=["sgd", "adam"])
+class TestOptimizerStateDict:
+    def test_round_trip_resumes_bit_identical(self, make_opt):
+        # Train 4 steps straight through.
+        net_a, x, y = _make_net_and_batch()
+        opt_a = make_opt(net_a.parameters())
+        _train_steps(net_a, opt_a, x, y, 4)
+
+        # Train 2 steps, snapshot, restore into fresh copies, 2 more.
+        net_b, _, _ = _make_net_and_batch()
+        opt_b = make_opt(net_b.parameters())
+        _train_steps(net_b, opt_b, x, y, 2)
+        opt_state = opt_b.state_dict()
+        net_state = net_b.state_dict()
+
+        net_c, _, _ = _make_net_and_batch()
+        net_c.load_state_dict(net_state)
+        opt_c = make_opt(net_c.parameters())
+        opt_c.load_state_dict(opt_state)
+        _train_steps(net_c, opt_c, x, y, 2)
+
+        for key, value in net_a.state_dict().items():
+            np.testing.assert_array_equal(value, net_c.state_dict()[key])
+
+    def test_rejects_mismatched_shapes(self, make_opt):
+        net, _, _ = _make_net_and_batch()
+        opt = make_opt(net.parameters())
+        state = opt.state_dict()
+        other_net, _, _ = _make_net_and_batch()
+        other = make_opt([next(iter(other_net.parameters()))])
+        with pytest.raises(ValueError):
+            other.load_state_dict(state)
+
+
+# --- store-gc CLI -------------------------------------------------------
+
+class TestStoreGcCli:
+    def _load_cli(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "scripts" / "store_gc.py"
+        module_spec = importlib.util.spec_from_file_location("store_gc", path)
+        module = importlib.util.module_from_spec(module_spec)
+        module_spec.loader.exec_module(module)
+        return module
+
+    def test_list_verify_prune(self, tmp_path, capsys):
+        gc = self._load_cli()
+        store = ArtifactStore(tmp_path / "store")
+        for seed in range(2):
+            store.put({**SPEC, "seed": seed}, _state(seed))
+
+        assert gc.main(["--store-dir", str(tmp_path / "store"), "list"]) == 0
+        out = capsys.readouterr().out
+        assert "2 artifacts" in out and "victim/Hopper-v0/ppo" in out
+
+        assert gc.main(["--store-dir", str(tmp_path / "store"), "verify"]) == 0
+        assert "0 problems" in capsys.readouterr().out
+
+        assert gc.main(["--store-dir", str(tmp_path / "store"),
+                        "prune", "--keep-latest", "1", "--yes"]) == 0
+        assert len(store) == 1

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
 from repro import envs
 from repro.defenses import DefenseTrainConfig
+from repro.store import default_store, spec_key
 from repro.zoo import (
     VictimGameEnv,
     WeakBlocker,
@@ -14,9 +17,9 @@ from repro.zoo import (
     get_game_victim,
     get_victim,
     training_env_factory,
-    victim_cache_path,
 )
 from repro.zoo.opponents import MixtureOpponent, Rammer
+from repro.zoo.train import victim_spec
 
 TINY = DefenseTrainConfig(iterations=1, steps_per_iteration=128, hidden_sizes=(8,), seed=0)
 
@@ -49,8 +52,8 @@ class TestTrainingEnvFactory:
 class TestVictimCache:
     def test_cache_roundtrip(self):
         v1 = get_victim("Hopper-v0", "ppo", config=TINY, budget_tag="tiny", seed=0)
-        path = victim_cache_path("Hopper-v0", "ppo", "tiny", 0)
-        assert path.exists()
+        store = default_store()
+        assert store.contains(victim_spec("Hopper-v0", "ppo", TINY, "tiny", 0))
         v2 = get_victim("Hopper-v0", "ppo", config=TINY, budget_tag="tiny", seed=0)
         x = np.ones(11)
         np.testing.assert_allclose(v1.actor(x).data, v2.actor(x).data)
@@ -58,17 +61,43 @@ class TestVictimCache:
 
     def test_force_retrain_overwrites(self):
         get_victim("Hopper-v0", "ppo", config=TINY, budget_tag="tiny2", seed=0)
-        path = victim_cache_path("Hopper-v0", "ppo", "tiny2", 0)
-        mtime = path.stat().st_mtime_ns
+        store = default_store()
+        entry = store.entry(victim_spec("Hopper-v0", "ppo", TINY, "tiny2", 0))
+        mtime = entry.path.stat().st_mtime_ns
         get_victim("Hopper-v0", "ppo", config=TINY, budget_tag="tiny2", seed=0,
                    force_retrain=True)
-        assert path.stat().st_mtime_ns >= mtime
+        entry2 = store.entry(victim_spec("Hopper-v0", "ppo", TINY, "tiny2", 0))
+        assert entry2.path.stat().st_mtime_ns >= mtime
 
     def test_distinct_keys_per_defense_and_seed(self):
-        a = victim_cache_path("Hopper-v0", "ppo", "t", 0)
-        b = victim_cache_path("Hopper-v0", "sa", "t", 0)
-        c = victim_cache_path("Hopper-v0", "ppo", "t", 1)
+        a = spec_key(victim_spec("Hopper-v0", "ppo", TINY, "t", 0))
+        b = spec_key(victim_spec("Hopper-v0", "sa", TINY, "t", 0))
+        c = spec_key(victim_spec("Hopper-v0", "ppo", TINY, "t", 1))
         assert len({a, b, c}) == 3
+
+    def test_config_change_changes_key(self):
+        # The stale-cache fix: the full DefenseTrainConfig (including
+        # nested PPO settings) is part of the content address.
+        base = victim_spec("Hopper-v0", "sa_ppo", TINY, "t", 0)
+        eps = victim_spec("Hopper-v0", "sa_ppo", replace(TINY, epsilon=0.3), "t", 0)
+        iters = victim_spec("Hopper-v0", "sa_ppo", replace(TINY, iterations=2), "t", 0)
+        assert len({spec_key(base), spec_key(eps), spec_key(iters)}) == 3
+
+    def test_metadata_mismatch_falls_back_to_retraining(self):
+        get_victim("Hopper-v0", "ppo", config=TINY, budget_tag="tiny3", seed=0)
+        store = default_store()
+        spec = victim_spec("Hopper-v0", "ppo", TINY, "tiny3", 0)
+        entry = store.entry(spec)
+        # Corrupt the sidecar metadata: claim the artifact is for another env.
+        doc = entry.sidecar.read_text()
+        entry.sidecar.write_text(doc.replace('"env_id": "Hopper-v0"',
+                                             '"env_id": "Ant-v0"'))
+        with pytest.warns(UserWarning, match="metadata mismatch"):
+            v = get_victim("Hopper-v0", "ppo", config=TINY, budget_tag="tiny3",
+                           seed=0)
+        assert v.normalizer.frozen  # retrained fine
+        # The retrain re-put the artifact with correct metadata.
+        assert store.entry(spec).metadata["env_id"] == "Hopper-v0"
 
     def test_game_victim_cache(self):
         v1 = get_game_victim("YouShallNotPass-v0", iterations=1,
