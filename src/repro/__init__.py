@@ -10,8 +10,9 @@ Public entry points:
 * :mod:`repro.zoo`      — cached victim checkpoints
 * :mod:`repro.eval`     — attack-evaluation harness and table renderers
 * :mod:`repro.experiments` — per-table/figure experiment runners
-* :mod:`repro.runtime`  — vectorized envs + process-pool scheduler
+* :mod:`repro.runtime`  — vectorized envs + fault-contained scheduler
 * :mod:`repro.telemetry` — run manifests, metrics, JSONL event logs
+* :mod:`repro.faultinject` — deterministic chaos-testing harness
 """
 
 __version__ = "1.0.0"

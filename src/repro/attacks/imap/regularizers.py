@@ -20,6 +20,7 @@ import numpy as np
 
 from ...density import KnnDensityEstimator, StateBuffer, UnionStateBuffer
 from ...nn import no_grad
+from ...rl.health import check_finite
 from ...rl.policy import ActorCritic
 from ..base import AdversaryRollout, AttackConfig
 from .mimic import MimicPolicy
@@ -66,6 +67,12 @@ class IntrinsicRegularizer:
 
     # ------------------------------------------------------------- utilities
 
+    def _checked(self, bonus: np.ndarray) -> np.ndarray:
+        """Health guard on the computed bonus: NaN/Inf here (degenerate
+        KNN distances, exploding mimic KL) would otherwise poison the
+        intrinsic advantages and every checkpoint after them."""
+        return check_finite(f"{type(self).__name__}.bonus", bonus)
+
     def _mix(self, adversary_bonus: np.ndarray, victim_bonus: np.ndarray) -> np.ndarray:
         """ξ-weighted mixture of the two projection spaces (Eq. 7/9)."""
         if not self.multi_agent:
@@ -85,8 +92,8 @@ class StateCoverageRegularizer(IntrinsicRegularizer):
     def compute(self, rollout: AdversaryRollout, policy: ActorCritic) -> np.ndarray:
         adversary = self._bonus(rollout.knn_adversary)
         if not self.multi_agent:
-            return adversary
-        return self._mix(adversary, self._bonus(rollout.knn_victim))
+            return self._checked(adversary)
+        return self._checked(self._mix(adversary, self._bonus(rollout.knn_victim)))
 
 
 class PolicyCoverageRegularizer(IntrinsicRegularizer):
@@ -113,7 +120,7 @@ class PolicyCoverageRegularizer(IntrinsicRegularizer):
             bonus = adversary
         else:
             bonus = self._mix(adversary, self._bonus(rollout.knn_victim, self._union_vic))
-        return bonus
+        return self._checked(bonus)
 
     def after_update(self, rollout: AdversaryRollout, policy: ActorCritic) -> None:
         # Algorithm 1: B = B ∪ D after the optimizing stage.
@@ -145,7 +152,7 @@ class RiskRegularizer(IntrinsicRegularizer):
     def compute(self, rollout: AdversaryRollout, policy: ActorCritic) -> np.ndarray:
         if self.target is None:
             self.target = rollout.knn_victim[0].copy()
-        return -np.linalg.norm(rollout.knn_victim - self.target, axis=1)
+        return self._checked(-np.linalg.norm(rollout.knn_victim - self.target, axis=1))
 
     def state_dict(self) -> dict:
         return {"target": None if self.target is None else self.target.copy()}
@@ -178,7 +185,7 @@ class DivergenceRegularizer(IntrinsicRegularizer):
         with no_grad():
             current = policy.distribution(rollout.obs)
             past = mimic.distribution(rollout.obs)
-            return current.kl(past).data.copy()
+            return self._checked(current.kl(past).data.copy())
 
     def after_update(self, rollout: AdversaryRollout, policy: ActorCritic) -> None:
         mimic = self._ensure_mimic(policy)

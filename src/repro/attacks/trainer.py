@@ -15,6 +15,7 @@ import numpy as np
 
 from ..envs.core import Env
 from ..rl.buffers import RolloutBuffer
+from ..rl.health import check_finite
 from ..rl.policy import ActorCritic
 from ..rl.ppo import PPOUpdater
 from ..runtime.vec_env import VectorEnv
@@ -272,6 +273,7 @@ class AdversaryTrainer:
                 TrainingCheckpoint.load(checkpoint_path))
         for iteration in range(start_iteration, cfg.iterations):
             rollout = self._collect(cfg.steps_per_iteration)
+            check_finite("rewards", rollout.rewards, iteration=iteration)
             intrinsic = None
             if self.regularizer is not None:
                 if telemetry is not None:
@@ -279,7 +281,11 @@ class AdversaryTrainer:
                         intrinsic = self.regularizer.compute(rollout, self.policy)
                 else:
                     intrinsic = self.regularizer.compute(rollout, self.policy)
+                # KNN-density bonuses are the classic NaN source here (log/
+                # sqrt of degenerate distances, exploding mimic KL): catch
+                # them before they reach the advantage estimator.
                 intrinsic = self._standardize(intrinsic) * cfg.intrinsic_reward_scale
+                check_finite("intrinsic_bonus", intrinsic, iteration=iteration)
             if cfg.single_value_head and intrinsic is not None:
                 # ablation: one mixed-reward channel instead of Eq. 14's
                 # separate Â_E + τ Â_I estimation

@@ -11,7 +11,10 @@ Examples::
 ``--jobs N`` runs the requested experiments as independent cells on the
 process-pool scheduler (:mod:`repro.runtime.scheduler`); output is still
 printed in request order, and a crashed experiment is reported without
-aborting the others.
+aborting the others.  ``--job-timeout SECONDS`` adds a per-experiment
+wall-clock budget enforced by the watchdog supervisor: a hung cell is
+killed and reported with ``error_kind="timeout"`` instead of stalling
+the whole invocation.
 
 ``--telemetry-dir DIR`` records the run: ``DIR/manifest.json`` (config,
 seeds, package versions, wall clock, exit status, per-job crash records,
@@ -71,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1,
                         help="run the requested experiments on a process pool "
                              "of this many workers (default 1: sequential)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-experiment wall-clock budget; a hung or "
+                             "overrunning experiment is killed and reported "
+                             "as a timeout instead of stalling the sweep "
+                             "(default: unbounded)")
     parser.add_argument("--envs", nargs="*", default=None,
                         help="restrict single-agent experiments to these env ids")
     parser.add_argument("--games", nargs="*", default=None,
@@ -108,8 +117,8 @@ def apply_resume(args: argparse.Namespace,
     if not manifest_path.exists():
         parser.error(f"--resume: no {MANIFEST_NAME} under {args.resume}")
     recorded = RunManifest.load(manifest_path).experiment
-    for name in ("what", "scale", "seed", "jobs", "envs", "games", "attacks",
-                 "store_dir"):
+    for name in ("what", "scale", "seed", "jobs", "job_timeout", "envs",
+                 "games", "attacks", "store_dir"):
         if name in recorded and getattr(args, name) == parser.get_default(name):
             setattr(args, name, recorded[name])
     if args.telemetry_dir is None:
@@ -163,7 +172,8 @@ def _make_telemetry(args) -> Telemetry | None:
         run_id=f"{'-'.join(args.what)}-{args.scale}-seed{args.seed}",
         experiment={
             "what": args.what, "scale": args.scale, "seed": args.seed,
-            "jobs": args.jobs, "envs": args.envs, "games": args.games,
+            "jobs": args.jobs, "job_timeout": args.job_timeout,
+            "envs": args.envs, "games": args.games,
             "attacks": args.attacks, "store_dir": args.store_dir,
         },
         seeds=[args.seed],
@@ -183,13 +193,17 @@ def main(argv: list[str] | None = None) -> int:
     context = use_telemetry(telemetry) if telemetry else contextlib.nullcontext()
     try:
         with context:
-            if args.jobs > 1 and len(args.what) > 1:
+            # A --job-timeout also routes a sequential run through the
+            # scheduler: the watchdog needs its own worker process to kill.
+            if ((args.jobs > 1 and len(args.what) > 1)
+                    or args.job_timeout is not None):
                 jobs = [Job(fn=run_experiment,
                             args=(what, args.scale, args.seed,
                                   args.envs, args.games, args.attacks),
                             name=what)
                         for what in args.what]
-                report = run_parallel(jobs, max_workers=args.jobs)
+                report = run_parallel(jobs, max_workers=args.jobs,
+                                      timeout=args.job_timeout)
                 for what, result in zip(args.what, report.results):
                     print(f"\n##### {what} (scale={scale.name}) #####\n", flush=True)
                     if result.ok:

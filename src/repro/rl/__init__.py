@@ -1,6 +1,7 @@
 """On-policy RL machinery: PPO, GAE buffers, rollouts, normalization."""
 
 from .buffers import RolloutBuffer, compute_gae
+from .health import NumericalDivergence, array_health, check_finite, check_gradients
 from .normalize import ObservationNormalizer, RewardNormalizer, RunningMeanStd
 from .policy import ActorCritic
 from .ppo import PPOConfig, PPOUpdater
@@ -9,6 +10,7 @@ from .trainer import TrainConfig, TrainResult, quick_eval, train_ppo
 
 __all__ = [
     "RolloutBuffer", "compute_gae",
+    "NumericalDivergence", "array_health", "check_finite", "check_gradients",
     "RunningMeanStd", "ObservationNormalizer", "RewardNormalizer",
     "ActorCritic",
     "PPOConfig", "PPOUpdater",

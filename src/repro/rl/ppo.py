@@ -15,6 +15,7 @@ from .. import nn
 from ..nn import Tensor
 from ..nn import functional as F
 from ..telemetry import profiled
+from .health import check_finite, check_gradients
 from .policy import ActorCritic
 
 __all__ = ["PPOConfig", "PPOUpdater"]
@@ -34,6 +35,10 @@ class PPOConfig:
     target_kl: float | None = 0.05
     normalize_advantages: bool = True
     extra_loss_weight: float = 1.0  # weight for defense regularizer terms
+    # Health guard: any |loss| above this raises NumericalDivergence even
+    # before it turns into an actual NaN/Inf.  None disables the bound
+    # (the NaN/Inf check itself is always on).
+    max_loss_magnitude: float | None = 1e6
     extra_kwargs: dict = field(default_factory=dict)
 
 
@@ -64,7 +69,9 @@ class PPOUpdater:
         cfg = self.config
         rng = rng or np.random.default_rng()
         n = len(batch["obs"])
+        check_finite("returns", batch["returns_e"])
         advantages = batch["advantages_e"] + tau * batch["advantages_i"]
+        check_finite("advantages", advantages)
         if cfg.normalize_advantages and n > 1:
             advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
 
@@ -124,8 +131,12 @@ class PPOUpdater:
             extra_value = float(extra.data)
             loss = loss + cfg.extra_loss_weight * extra
 
+        # Guards run before the optimizer mutates any state, so a diverged
+        # minibatch leaves parameters and moments exactly as checkpointed.
+        check_finite("loss", float(loss.data), max_abs=cfg.max_loss_magnitude)
         self.optimizer.zero_grad()
         loss.backward()
+        check_gradients(self.policy.parameters())
         nn.clip_grad_norm(self.policy.parameters(), cfg.max_grad_norm)
         self.optimizer.step()
 

@@ -15,7 +15,14 @@ __all__ = ["EpisodeStats", "collect_rollout", "evaluate_policy"]
 
 @dataclass
 class EpisodeStats:
-    """Aggregates over the episodes finished during a rollout."""
+    """Aggregates over the episodes finished during a rollout.
+
+    Aggregating zero episodes raises :class:`ValueError` rather than
+    dividing by zero (or silently returning 0.0, which is
+    indistinguishable from a genuinely zero-return policy).  Callers
+    that may legitimately see an empty rollout — e.g. a training batch
+    that ends mid-first-episode — should branch on ``len(stats)`` first.
+    """
 
     returns: list[float] = field(default_factory=list)
     lengths: list[int] = field(default_factory=list)
@@ -26,17 +33,26 @@ class EpisodeStats:
         self.lengths.append(length)
         self.successes.append(success)
 
+    def _require_episodes(self, what: str) -> None:
+        if not self.returns:
+            raise ValueError(
+                f"cannot aggregate {what} over zero finished episodes; "
+                "check len(stats) before aggregating")
+
     @property
     def mean_return(self) -> float:
-        return float(np.mean(self.returns)) if self.returns else 0.0
+        self._require_episodes("mean_return")
+        return float(np.mean(self.returns))
 
     @property
     def std_return(self) -> float:
-        return float(np.std(self.returns)) if self.returns else 0.0
+        self._require_episodes("std_return")
+        return float(np.std(self.returns))
 
     @property
     def success_rate(self) -> float:
-        return float(np.mean(self.successes)) if self.successes else 0.0
+        self._require_episodes("success_rate")
+        return float(np.mean(self.successes))
 
     def __len__(self) -> int:
         return len(self.returns)
@@ -86,6 +102,10 @@ def evaluate_policy(env: Env, policy: ActorCritic, episodes: int,
                     rng: np.random.Generator, deterministic: bool = True,
                     ) -> EpisodeStats:
     """Run ``episodes`` evaluation episodes (no learning side effects)."""
+    if episodes < 1:
+        raise ValueError(
+            f"evaluate_policy needs episodes >= 1, got {episodes}: an empty "
+            "evaluation has no statistics to aggregate")
     stats = EpisodeStats()
     for _ in range(episodes):
         obs = env.reset()

@@ -10,6 +10,7 @@ import numpy as np
 from ..envs.core import Env
 from ..telemetry import current_telemetry
 from .buffers import RolloutBuffer
+from .health import check_finite
 from .policy import ActorCritic
 from .ppo import PPOConfig, PPOUpdater
 from .rollout import collect_rollout, evaluate_policy
@@ -116,11 +117,15 @@ def train_ppo(env: Env, config: TrainConfig | None = None,
         else:
             stats = collect_rollout(env, policy, buffer, rng)
         batch = buffer.finish(config.ppo.gamma, config.ppo.gae_lambda)
+        # Divergence raised here (or inside the update's own guards) fires
+        # before this iteration checkpoints, so the last on-disk checkpoint
+        # is always healthy and a retry can roll back to it.
+        check_finite("returns", batch["returns_e"], iteration=iteration)
         diag = updater.update(batch, rng=rng)
         record = {
             "iteration": iteration,
-            "mean_return": stats.mean_return,
-            "success_rate": stats.success_rate,
+            "mean_return": stats.mean_return if len(stats) else 0.0,
+            "success_rate": stats.success_rate if len(stats) else 0.0,
             "episodes": float(len(stats)),
             **diag,
         }
@@ -135,8 +140,8 @@ def train_ppo(env: Env, config: TrainConfig | None = None,
             })
         if config.log_every and iteration % config.log_every == 0:
             print(
-                f"[ppo] iter {iteration:3d} return {stats.mean_return:9.2f} "
-                f"success {stats.success_rate:5.2f} kl {diag['approx_kl']:.4f}"
+                f"[ppo] iter {iteration:3d} return {record['mean_return']:9.2f} "
+                f"success {record['success_rate']:5.2f} kl {diag['approx_kl']:.4f}"
             )
         if callback is not None:
             callback(iteration, policy, record)
@@ -149,7 +154,16 @@ def train_ppo(env: Env, config: TrainConfig | None = None,
 
 
 def quick_eval(env: Env, policy: ActorCritic, episodes: int = 20, seed: int = 123):
-    """Deterministic evaluation helper returning EpisodeStats."""
+    """Deterministic evaluation helper returning EpisodeStats.
+
+    ``episodes`` must be >= 1: a zero-episode evaluation has no
+    statistics, and silently returning zeros would be indistinguishable
+    from a genuinely zero-reward policy.
+    """
+    if episodes < 1:
+        raise ValueError(
+            f"quick_eval needs episodes >= 1, got {episodes}: an empty "
+            "evaluation has no reward statistics to aggregate")
     rng = np.random.default_rng(seed)
     env.seed(seed)
     return evaluate_policy(env, policy, episodes, rng)

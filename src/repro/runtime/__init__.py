@@ -1,5 +1,5 @@
 """Parallel execution runtime: vectorized envs, batched rollout
-collection, and a process-pool experiment scheduler.
+collection, and a fault-contained process-pool experiment scheduler.
 
 Layering (each layer usable on its own):
 
@@ -9,22 +9,32 @@ Layering (each layer usable on its own):
    fills one training batch from N lanes with batched policy forwards;
    bit-identical to the serial collector at ``n_envs=1``.
 3. :mod:`~repro.runtime.scheduler` — ``run_parallel`` executes whole
-   experiment cells on a process pool with structured failure capture
-   and ``SeedSequence``-derived per-job seeds.
+   experiment cells on a process pool with structured failure capture,
+   a ``crash | timeout | numerical | pickling | pool_broken`` error
+   taxonomy, seeded retry backoff, and ``SeedSequence``-derived
+   per-job seeds.
+4. :mod:`~repro.runtime.supervisor` — the watchdog behind ``timeout=``/
+   ``deadline=``/``heartbeat_timeout=``: per-job worker processes that
+   can be killed individually when they hang, stall, or overrun.
 """
 
 from .collector import collect_adversary_rollout_vec, knn_feature
 from .scheduler import (
+    ERROR_KINDS,
     Job,
     JobResult,
     ScheduleReport,
+    compute_backoff,
     derive_job_seeds,
     run_parallel,
 )
+from .supervisor import Supervisor, WorkerCrash, WorkerTimeout, classify_exception
 from .vec_env import LANE_SEED_STRIDE, SyncVectorEnv, VectorEnv
 
 __all__ = [
     "VectorEnv", "SyncVectorEnv", "LANE_SEED_STRIDE",
     "collect_adversary_rollout_vec", "knn_feature",
     "Job", "JobResult", "ScheduleReport", "run_parallel", "derive_job_seeds",
+    "compute_backoff", "ERROR_KINDS",
+    "Supervisor", "WorkerCrash", "WorkerTimeout", "classify_exception",
 ]

@@ -1,4 +1,4 @@
-"""Process-pool experiment scheduler.
+"""Process-pool experiment scheduler with fault containment.
 
 Experiment grids (attacks × victims × seeds) are embarrassingly
 parallel: every cell is a pure function of its arguments and its seed.
@@ -8,6 +8,27 @@ crashes into structured :class:`JobResult` errors instead of killing the
 sweep.  ``max_workers <= 1`` runs the jobs inline in the parent process
 (bit-identical to the pre-scheduler sequential code path).
 
+Containment layers (each opt-in, so the no-fault fast path is untouched):
+
+* **Deadlines** — per-job ``timeout=`` (or ``Job.timeout``) and a
+  sweep-level ``deadline=`` route execution through the
+  :class:`~repro.runtime.supervisor.Supervisor` watchdog: hung or
+  stalled workers are killed and reported as ``error_kind="timeout"``
+  instead of stalling ``future.result()`` forever.
+* **Error taxonomy** — every failed :class:`JobResult` carries
+  ``error_kind`` ∈ ``crash | timeout | numerical | pickling |
+  pool_broken`` so sweep tooling can retry, reroute, or alert per class.
+* **Retries with seeded backoff** — ``retries=k`` requeues failures up
+  to k more times; ``retry_backoff=b`` sleeps ``b·2^(round-1)`` seconds
+  with deterministic ``SeedSequence``-seeded jitter between rounds.
+  A ``numerical`` failure (see :mod:`repro.rl.health`) retried with
+  checkpointing enabled resumes from its last *healthy* checkpoint —
+  the guards fire before a poisoned iteration can checkpoint.
+* **Pool degradation** — a ``BrokenProcessPool`` fails innocent queued
+  jobs too; those are requeued on a rebuilt pool for free (not charged
+  against ``retries``), and a twice-broken pool falls back to inline
+  serial execution with a telemetry warning instead of failing the sweep.
+
 Seed derivation for sweeps uses ``np.random.SeedSequence`` so job seeds
 are statistically independent regardless of how the grid is enumerated
 (``derive_job_seeds``).  Jobs with an explicit ``seed`` get it injected
@@ -16,6 +37,7 @@ as a ``seed=`` keyword argument.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -26,14 +48,53 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from ..telemetry import current_telemetry
+from .supervisor import ERROR_KINDS, classify_exception, run_supervised
 
-__all__ = ["Job", "JobResult", "ScheduleReport", "run_parallel", "derive_job_seeds"]
+__all__ = [
+    "Job", "JobResult", "ScheduleReport", "run_parallel", "derive_job_seeds",
+    "compute_backoff", "ERROR_KINDS",
+]
+
+# How many times one run_parallel call will rebuild a broken pool before
+# giving up on requeueing pool_broken failures.
+MAX_POOL_REBUILDS = 3
+# Pool breakages after which the sweep degrades to inline serial execution.
+DEGRADE_AFTER_POOL_BREAKS = 2
 
 
 def derive_job_seeds(base_seed: int, n_jobs: int) -> list[int]:
-    """Independent per-job seeds via ``SeedSequence.spawn`` (not ``base+i``)."""
-    children = np.random.SeedSequence(base_seed).spawn(n_jobs)
+    """Independent per-job seeds via ``SeedSequence.spawn`` (not ``base+i``).
+
+    Inputs are validated here so a bad sweep config fails with a clear
+    message instead of an opaque ``SeedSequence`` traceback from deep
+    inside numpy.
+    """
+    if isinstance(base_seed, bool) or not isinstance(base_seed, (int, np.integer)):
+        raise TypeError(
+            f"derive_job_seeds: base_seed must be an integer, got "
+            f"{base_seed!r} ({type(base_seed).__name__})")
+    if (isinstance(n_jobs, bool) or not isinstance(n_jobs, (int, np.integer))
+            or n_jobs < 0):
+        raise ValueError(
+            f"derive_job_seeds: n_jobs must be a non-negative integer, got "
+            f"{n_jobs!r}")
+    children = np.random.SeedSequence(int(base_seed)).spawn(int(n_jobs))
     return [int(child.generate_state(1)[0]) for child in children]
+
+
+def compute_backoff(base: float, round_index: int,
+                    rng: np.random.Generator) -> float:
+    """Seeded exponential backoff with jitter for retry round ``round_index``.
+
+    ``base * 2^(round-1)``, jittered uniformly into ``[0.5, 1.0]ד`` so
+    simultaneous sweeps don't retry in lockstep.  ``base <= 0`` disables
+    backoff entirely (and draws nothing from ``rng``, keeping the
+    generator untouched for determinism).
+    """
+    if base <= 0.0:
+        return 0.0
+    return float(base * (2.0 ** max(0, round_index - 1))
+                 * (0.5 + 0.5 * rng.random()))
 
 
 @dataclass
@@ -50,11 +111,15 @@ class Job:
     # resumes from its last on-disk checkpoint instead of from scratch.
     # fn must accept those keywords (train_ppo / AdversaryTrainer.train do).
     checkpointable: bool = False
+    # Per-job wall-clock budget in seconds; overrides run_parallel's
+    # timeout= for this job.  Any timeout routes the batch through the
+    # watchdog supervisor (per-job worker processes, kill on expiry).
+    timeout: float | None = None
 
 
 @dataclass
 class JobResult:
-    """Outcome of one job: either ``value`` or a captured error."""
+    """Outcome of one job: either ``value`` or a captured, classified error."""
 
     name: str
     ok: bool
@@ -63,6 +128,9 @@ class JobResult:
     traceback: str | None = None
     duration: float = 0.0
     attempts: int = 1
+    # Structured failure taxonomy (None while ok):
+    # crash | timeout | numerical | pickling | pool_broken
+    error_kind: str | None = None
 
 
 @dataclass
@@ -72,6 +140,12 @@ class ScheduleReport:
     results: list[JobResult]
     wall_clock: float
     max_workers: int
+    # Failed attempts that were requeued: (attempt_number, JobResult).
+    retried: list[tuple[int, JobResult]] = field(default_factory=list)
+    # True if repeated pool breakage forced inline serial execution.
+    degraded: bool = False
+    # Watchdog actions (kills, deadline drops) taken during the run.
+    interventions: list[dict] = field(default_factory=list)
 
     @property
     def n_failed(self) -> int:
@@ -81,6 +155,13 @@ class ScheduleReport:
     def failures(self) -> list[JobResult]:
         return [r for r in self.results if not r.ok]
 
+    def failures_by_kind(self) -> dict[str, list[JobResult]]:
+        """Failed results grouped by their ``error_kind`` taxonomy tag."""
+        grouped: dict[str, list[JobResult]] = {}
+        for result in self.failures:
+            grouped.setdefault(result.error_kind or "crash", []).append(result)
+        return grouped
+
     @property
     def total_job_time(self) -> float:
         """Sum of per-job durations (the sequential-equivalent wall clock)."""
@@ -88,8 +169,14 @@ class ScheduleReport:
 
     @property
     def speedup(self) -> float:
-        """total_job_time / wall_clock — parallel efficiency × workers."""
-        return self.total_job_time / self.wall_clock if self.wall_clock > 0 else 0.0
+        """total_job_time / wall_clock — parallel efficiency × workers.
+
+        A degenerate ``wall_clock == 0`` (manual clocks, sub-resolution
+        sweeps) reports a neutral 1.0 rather than a bogus "0.00x".
+        """
+        if self.wall_clock <= 0.0:
+            return 1.0
+        return self.total_job_time / self.wall_clock
 
     def values(self) -> list[Any]:
         """Job values in submission order (``None`` for failed jobs)."""
@@ -97,9 +184,12 @@ class ScheduleReport:
 
     def summary(self) -> str:
         ok = len(self.results) - self.n_failed
+        speedup = (f", {self.speedup:.2f}x speedup"
+                   if self.wall_clock > 0.0 else "")
+        degraded = ", degraded to inline" if self.degraded else ""
         return (f"{ok}/{len(self.results)} jobs ok in {self.wall_clock:.1f}s "
-                f"wall ({self.total_job_time:.1f}s of work, "
-                f"{self.speedup:.2f}x speedup, {self.max_workers} workers)")
+                f"wall ({self.total_job_time:.1f}s of work{speedup}, "
+                f"{self.max_workers} workers{degraded})")
 
 
 def _execute_job(job: Job) -> JobResult:
@@ -116,11 +206,11 @@ def _execute_job(job: Job) -> JobResult:
         return JobResult(name=job.name, ok=False,
                          error=f"{type(exc).__name__}: {exc}",
                          traceback=traceback.format_exc(),
-                         duration=time.perf_counter() - start)
+                         duration=time.perf_counter() - start,
+                         error_kind=classify_exception(exc))
 
 
-def _record_schedule(telemetry, report: ScheduleReport,
-                     retried: list[tuple[int, JobResult]]) -> None:
+def _record_schedule(telemetry, report: ScheduleReport) -> None:
     """Per-attempt events + per-job crash records, in deterministic order.
 
     Runs in the submitting process after results are gathered, so event
@@ -129,23 +219,30 @@ def _record_schedule(telemetry, report: ScheduleReport,
     Worker processes themselves run untelemetered — an open JSONL sink
     does not cross a fork/spawn boundary.
     """
-    for attempt, result in retried:
+    for attempt, result in report.retried:
         telemetry.metrics.counter("scheduler.retries").inc()
         telemetry.event("job.attempt", payload={
             "name": result.name, "attempt": attempt, "ok": False,
-            "error": result.error,
+            "error": result.error, "error_kind": result.error_kind,
         }, perf={"duration": result.duration})
+    if report.degraded:
+        telemetry.metrics.counter("scheduler.pool_degraded").inc()
+        telemetry.event("schedule.degraded", payload={
+            "reason": "process pool broke repeatedly; "
+                      "falling back to inline serial execution",
+        })
     for result in report.results:
         telemetry.metrics.counter(
             "scheduler.jobs_ok" if result.ok else "scheduler.jobs_failed").inc()
         telemetry.metrics.observe_duration("scheduler.job", result.duration)
         telemetry.event("job.finished", payload={
             "name": result.name, "ok": result.ok, "error": result.error,
-            "attempts": result.attempts,
+            "attempts": result.attempts, "error_kind": result.error_kind,
         }, perf={"duration": result.duration})
         telemetry.record_job(result.name, result.ok, duration=result.duration,
                              error=result.error, traceback=result.traceback,
-                             attempts=result.attempts)
+                             attempts=result.attempts,
+                             error_kind=result.error_kind)
     telemetry.event("schedule.complete", payload={
         "n_jobs": len(report.results), "n_failed": report.n_failed,
     }, perf={"wall_clock": report.wall_clock, "speedup": report.speedup,
@@ -169,15 +266,21 @@ def _prepare_jobs(jobs: list[Job], checkpoint_dir, checkpoint_every: int) -> lis
             kwargs = dict(job.kwargs)
             kwargs["checkpoint_path"] = str(_job_checkpoint_path(checkpoint_dir, job, i))
             kwargs["checkpoint_every"] = checkpoint_every
-            job = Job(fn=job.fn, args=job.args, kwargs=kwargs, name=job.name,
-                      seed=job.seed, checkpointable=True)
+            job = dataclasses.replace(job, kwargs=kwargs)
         prepared.append(job)
     return prepared
 
 
-def _run_batch(jobs: list[Job], max_workers: int, mp_context) -> list[JobResult]:
-    """One pass over ``jobs``: inline when serial, else via a process pool."""
-    if max_workers <= 1 or len(jobs) <= 1:
+def _run_batch(jobs: list[Job], max_workers: int, mp_context,
+               force_pool: bool = False) -> list[JobResult]:
+    """One pass over ``jobs``: inline when serial, else via a process pool.
+
+    ``force_pool`` disables the small-batch inline shortcut (it never
+    overrides ``max_workers <= 1``): a requeued job whose first attempt
+    broke a pool may crash its process again, and inlining it would take
+    the parent down with it.
+    """
+    if max_workers <= 1 or (len(jobs) <= 1 and not force_pool):
         return [_execute_job(job) for job in jobs]
     if isinstance(mp_context, str):
         import multiprocessing
@@ -193,21 +296,28 @@ def _run_batch(jobs: list[Job], max_workers: int, mp_context) -> list[JobResult]
             except Exception as exc:  # unpicklable job, pool already broken, ...
                 results[i] = JobResult(name=job.name, ok=False,
                                        error=f"{type(exc).__name__}: {exc}",
-                                       traceback=traceback.format_exc())
+                                       traceback=traceback.format_exc(),
+                                       error_kind=classify_exception(exc))
         for future, i in futures.items():
             try:
                 results[i] = future.result()
             except Exception as exc:  # worker death (BrokenProcessPool), pickling
                 results[i] = JobResult(name=jobs[i].name, ok=False,
                                        error=f"{type(exc).__name__}: {exc}",
-                                       traceback=traceback.format_exc())
+                                       traceback=traceback.format_exc(),
+                                       error_kind=classify_exception(exc))
     return [r for r in results if r is not None]
 
 
 def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
                  mp_context=None, telemetry=None, retries: int = 0,
                  checkpoint_dir: str | Path | None = None,
-                 checkpoint_every: int = 0) -> ScheduleReport:
+                 checkpoint_every: int = 0,
+                 timeout: float | None = None,
+                 deadline: float | None = None,
+                 heartbeat_timeout: float | None = None,
+                 retry_backoff: float = 0.0,
+                 backoff_seed: int = 0) -> ScheduleReport:
     """Execute ``jobs`` and return per-job results in submission order.
 
     ``max_workers <= 1`` (or a single job) runs inline — no processes, no
@@ -217,26 +327,95 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
     of the sweep completes.  ``telemetry`` (default: the ambient one)
     receives per-attempt events and crash records into the run manifest.
 
-    Fault tolerance: ``retries=k`` requeues each failed job up to k more
-    times.  With ``checkpoint_dir`` + ``checkpoint_every`` set, jobs
-    flagged :attr:`Job.checkpointable` get ``checkpoint_path=`` /
-    ``checkpoint_every=`` kwargs injected, so a crashed training job's
-    retry resumes from its last on-disk checkpoint instead of restarting
-    from scratch; the result is bit-identical to an uninterrupted run.
+    Fault containment (all opt-in; with none of these set the execution
+    path — and therefore every result byte — is identical to the plain
+    scheduler):
+
+    * ``timeout=`` / ``Job.timeout`` / ``deadline=`` /
+      ``heartbeat_timeout=`` switch the batch onto the watchdog
+      supervisor: each job gets its own worker process, hung or stalled
+      workers are killed and classified ``error_kind="timeout"``, and the
+      sweep-level ``deadline`` bounds total wall clock.
+    * ``retries=k`` requeues each failed job up to k more times, sleeping
+      ``compute_backoff(retry_backoff, round, rng)`` between rounds
+      (seeded jitter; ``retry_backoff=0`` disables sleeping).  With
+      ``checkpoint_dir`` + ``checkpoint_every`` set, jobs flagged
+      :attr:`Job.checkpointable` get ``checkpoint_path=`` /
+      ``checkpoint_every=`` kwargs injected, so a crashed, killed, or
+      numerically-diverged training job's retry resumes from its last
+      healthy on-disk checkpoint instead of restarting from scratch; the
+      result is bit-identical to an uninterrupted run.
+    * A broken process pool (a worker hard-killed mid-job) fails every
+      in-flight job as ``pool_broken``; those are requeued on a rebuilt
+      pool without consuming ``retries``, and after
+      ``DEGRADE_AFTER_POOL_BREAKS`` breakages the sweep degrades to
+      inline serial execution with a telemetry warning rather than
+      failing.
     """
     jobs = list(jobs)
     telemetry = telemetry if telemetry is not None else current_telemetry()
     start = time.perf_counter()
     prepared = _prepare_jobs(jobs, checkpoint_dir, checkpoint_every)
-    results = _run_batch(prepared, max_workers, mp_context)
+    supervised = (timeout is not None or deadline is not None
+                  or heartbeat_timeout is not None
+                  or any(job.timeout is not None for job in prepared))
+    pool_breaks = 0
+    degraded = False
+    interventions: list[dict] = []
+    backoff_rng = np.random.default_rng(np.random.SeedSequence(backoff_seed))
+
+    def deadline_left() -> float | None:
+        if deadline is None:
+            return None
+        return max(0.0, deadline - (time.perf_counter() - start))
+
+    def run_batch(subset: list[Job], requeue: bool = False) -> list[JobResult]:
+        if supervised:
+            batch, acts = run_supervised(
+                subset, max_workers=1 if degraded else max_workers,
+                mp_context=mp_context, timeout=timeout,
+                deadline=deadline_left(),
+                heartbeat_timeout=heartbeat_timeout)
+            interventions.extend(acts)
+            return batch
+        if degraded:
+            return [_execute_job(job) for job in subset]
+        return _run_batch(subset, max_workers, mp_context, force_pool=requeue)
+
+    results = run_batch(prepared)
     attempts = [1] * len(results)
     retried: list[tuple[int, JobResult]] = []
+
+    # Pool containment: requeue pool_broken casualties on a rebuilt pool
+    # (free — the job may never have run), degrading to inline after
+    # repeated breakage.  Only the pool path can break a pool.
+    rebuilds = 0
+    while not supervised and rebuilds < MAX_POOL_REBUILDS:
+        broken = [i for i, r in enumerate(results)
+                  if not r.ok and r.error_kind == "pool_broken"]
+        if not broken:
+            break
+        rebuilds += 1
+        pool_breaks += 1
+        if pool_breaks >= DEGRADE_AFTER_POOL_BREAKS:
+            degraded = True
+        for i in broken:
+            retried.append((attempts[i], results[i]))
+        requeued = run_batch([prepared[i] for i in broken], requeue=True)
+        for i, result in zip(broken, requeued):
+            attempts[i] += 1
+            results[i] = result
+
     pending = [i for i, r in enumerate(results) if not r.ok]
+    retry_round = 0
     while pending and max(attempts[i] for i in pending) <= retries:
+        retry_round += 1
+        delay = compute_backoff(retry_backoff, retry_round, backoff_rng)
+        if delay > 0.0:
+            time.sleep(delay)
         for i in pending:
             retried.append((attempts[i], results[i]))
-        retry_results = _run_batch([prepared[i] for i in pending],
-                                   max_workers, mp_context)
+        retry_results = run_batch([prepared[i] for i in pending], requeue=True)
         for i, result in zip(pending, retry_results):
             attempts[i] += 1
             results[i] = result
@@ -245,7 +424,9 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
         result.attempts = attempts[i]
     report = ScheduleReport(results=results,
                             wall_clock=time.perf_counter() - start,
-                            max_workers=1 if max_workers <= 1 else max_workers)
+                            max_workers=1 if max_workers <= 1 else max_workers,
+                            retried=retried, degraded=degraded,
+                            interventions=interventions)
     if telemetry is not None:
-        _record_schedule(telemetry, report, retried)
+        _record_schedule(telemetry, report)
     return report

@@ -1,0 +1,332 @@
+"""Watchdog supervision for scheduled jobs: deadlines, heartbeats, kills.
+
+The plain pool path in :mod:`~repro.runtime.scheduler` calls
+``future.result()`` with no timeout, so one hung worker stalls a
+multi-hour sweep forever.  When any timeout is configured,
+:func:`~repro.runtime.scheduler.run_parallel` routes the batch through a
+:class:`Supervisor` instead: every job runs in its *own*
+``multiprocessing.Process`` (so a kill takes out exactly one job, never
+a shared pool), and the parent polls all workers ``as_completed``-style:
+
+* result pipe readable  → collect the worker's :class:`JobResult`;
+* process dead, no result → ``error_kind="crash"`` (exit code recorded);
+* per-job ``timeout`` exceeded → SIGTERM, then SIGKILL →
+  ``error_kind="timeout"``;
+* heartbeat file stale for ``heartbeat_timeout`` seconds → the worker is
+  stalled (frozen interpreter, D-state I/O) even though the process is
+  alive → same kill path, ``error_kind="timeout"``;
+* sweep ``deadline`` exceeded → every running worker is killed and every
+  queued job is failed as ``timeout`` — the sweep always terminates.
+
+Workers touch their heartbeat file from a daemon thread every
+``heartbeat_interval`` seconds, so a hung *job function* (which still
+yields the GIL) keeps beating and is caught by the per-job timeout,
+while a wedged *process* stops beating and is caught by the heartbeat
+check.  Requeueing of killed jobs is the scheduler's retry loop's
+business — a timed-out or crashed job is an ordinary failed
+:class:`JobResult` with a taxonomy tag.
+
+:func:`classify_exception` maps exceptions onto the structured
+``error_kind`` taxonomy (``crash | timeout | numerical | pickling |
+pool_broken``) shared with the pool path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import tempfile
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "ERROR_KINDS", "classify_exception", "Supervisor",
+    "WorkerCrash", "WorkerTimeout",
+]
+
+ERROR_KINDS = ("crash", "timeout", "numerical", "pickling", "pool_broken")
+
+# How often a worker's daemon thread touches its heartbeat file.
+DEFAULT_HEARTBEAT_INTERVAL = 0.25
+# How long after SIGTERM before escalating to SIGKILL.
+_TERM_GRACE = 0.5
+
+
+class WorkerCrash(RuntimeError):
+    """A supervised worker process died without delivering a result."""
+
+
+class WorkerTimeout(TimeoutError):
+    """A supervised job exceeded its per-job timeout or the sweep deadline."""
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Map an exception to the structured ``error_kind`` taxonomy.
+
+    Matching on class *names* as well as classes keeps this usable on
+    exceptions that crossed a process boundary or would otherwise drag in
+    circular imports (``NumericalDivergence`` lives in ``repro.rl``).
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    name = type(exc).__name__
+    if isinstance(exc, BrokenProcessPool) or name == "BrokenProcessPool":
+        return "pool_broken"
+    if isinstance(exc, pickle.PicklingError) or "pickle" in str(exc).lower():
+        return "pickling"
+    if name == "NumericalDivergence":
+        return "numerical"
+    if isinstance(exc, (TimeoutError, WorkerTimeout)):
+        return "timeout"
+    return "crash"
+
+
+# --------------------------------------------------------------- worker side
+
+def _touch(path: Path) -> None:
+    try:
+        path.touch()
+    except OSError:
+        pass  # heartbeat is advisory; never kill the job over it
+
+
+def _heartbeat_loop(path: Path, interval: float, stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        _touch(path)
+
+
+def _supervised_worker(conn, job, heartbeat_path: str | None,
+                       heartbeat_interval: float) -> None:
+    """Process target: run one job, beat the heart, send the result back."""
+    from .scheduler import JobResult, _execute_job
+
+    stop = threading.Event()
+    if heartbeat_path:
+        path = Path(heartbeat_path)
+        _touch(path)
+        threading.Thread(target=_heartbeat_loop,
+                         args=(path, heartbeat_interval, stop),
+                         daemon=True).start()
+    result = _execute_job(job)
+    stop.set()
+    try:
+        conn.send(result)
+    except Exception as exc:  # unpicklable job value
+        conn.send(JobResult(
+            name=job.name, ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+            duration=result.duration, error_kind="pickling"))
+    conn.close()
+
+
+# --------------------------------------------------------------- parent side
+
+@dataclass
+class _Running:
+    index: int
+    process: multiprocessing.process.BaseProcess
+    conn: object               # parent end of the result pipe
+    heartbeat: Path | None
+    started: float
+    kill_at: float | None      # absolute per-job deadline, None = unbounded
+
+
+class Supervisor:
+    """Run jobs in per-job worker processes under watchdog supervision.
+
+    ``max_workers`` bounds concurrency; ``timeout`` is the default
+    per-job budget (``Job.timeout`` overrides per job); ``deadline`` is
+    the wall-clock budget for the whole batch; ``heartbeat_timeout``
+    (None = disabled) kills workers whose heartbeat file goes stale.
+    """
+
+    def __init__(self, max_workers: int = 1, mp_context=None,
+                 timeout: float | None = None, deadline: float | None = None,
+                 heartbeat_timeout: float | None = None,
+                 heartbeat_dir: str | Path | None = None,
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+                 poll_interval: float = 0.02):
+        if isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        self._ctx = mp_context or multiprocessing.get_context()
+        self.max_workers = max(1, max_workers)
+        self.timeout = timeout
+        self.deadline = deadline
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_dir = Path(heartbeat_dir) if heartbeat_dir else None
+        self.heartbeat_interval = heartbeat_interval
+        self.poll_interval = poll_interval
+        # Observed containment actions, for telemetry/tests:
+        # list of {"index", "name", "action", "detail"} dicts.
+        self.interventions: list[dict] = []
+
+    # ------------------------------------------------------------ internals
+
+    def _heartbeat_path(self, root: Path, index: int) -> Path | None:
+        if self.heartbeat_timeout is None:
+            return None
+        return root / f"job-{index}.heartbeat"
+
+    def _spawn(self, root: Path, index: int, job) -> _Running:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        heartbeat = self._heartbeat_path(root, index)
+        process = self._ctx.Process(
+            target=_supervised_worker,
+            args=(child_conn, job,
+                  str(heartbeat) if heartbeat else None,
+                  self.heartbeat_interval),
+            daemon=False,
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        job_timeout = job.timeout if job.timeout is not None else self.timeout
+        return _Running(
+            index=index, process=process, conn=parent_conn, heartbeat=heartbeat,
+            started=now,
+            kill_at=None if job_timeout is None else now + job_timeout,
+        )
+
+    def _kill(self, running: _Running) -> None:
+        process = running.process
+        if process.is_alive():
+            process.terminate()
+            process.join(_TERM_GRACE)
+            if process.is_alive():
+                process.kill()
+                process.join(_TERM_GRACE)
+        running.conn.close()
+
+    def _heartbeat_stale(self, running: _Running, now: float) -> bool:
+        if running.heartbeat is None or self.heartbeat_timeout is None:
+            return False
+        # Grace period: the worker may not have beaten yet right after spawn.
+        if now - running.started < max(self.heartbeat_timeout,
+                                       2 * self.heartbeat_interval):
+            return False
+        try:
+            age = time.time() - running.heartbeat.stat().st_mtime
+        except OSError:
+            age = now - running.started
+        return age > self.heartbeat_timeout
+
+    def _fail(self, jobs, running: _Running, kind: str, error: str,
+              action: str) -> "JobResult":
+        from .scheduler import JobResult
+
+        self.interventions.append({
+            "index": running.index, "name": jobs[running.index].name,
+            "action": action, "detail": error,
+        })
+        return JobResult(
+            name=jobs[running.index].name, ok=False, error=error,
+            traceback=f"(no worker traceback: {action})",
+            duration=time.monotonic() - running.started, error_kind=kind)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, jobs: list) -> list:
+        """Execute ``jobs``; one :class:`JobResult` each, submission order."""
+        from .scheduler import JobResult
+
+        results: list[JobResult | None] = [None] * len(jobs)
+        queue = deque(range(len(jobs)))
+        running: dict[int, _Running] = {}
+        start = time.monotonic()
+        expire_at = None if self.deadline is None else start + self.deadline
+
+        with tempfile.TemporaryDirectory(
+                dir=self.heartbeat_dir, prefix="repro-heartbeat-") as tmp:
+            root = Path(tmp)
+            if self.heartbeat_dir is not None:
+                self.heartbeat_dir.mkdir(parents=True, exist_ok=True)
+            while queue or running:
+                now = time.monotonic()
+                sweep_expired = expire_at is not None and now >= expire_at
+                while (queue and len(running) < self.max_workers
+                       and not sweep_expired):
+                    index = queue.popleft()
+                    running[index] = self._spawn(root, index, jobs[index])
+                for index, handle in list(running.items()):
+                    now = time.monotonic()
+                    if handle.conn.poll(0):
+                        try:
+                            results[index] = handle.conn.recv()
+                        except (EOFError, OSError):
+                            # EOF without a result: the worker died — its
+                            # closed pipe end reads as "ready".
+                            handle.process.join(_TERM_GRACE)
+                            results[index] = self._fail(
+                                jobs, handle, "crash",
+                                "WorkerCrash: worker exited with code "
+                                f"{handle.process.exitcode} before "
+                                "delivering a result", "crash")
+                        handle.process.join(_TERM_GRACE)
+                        handle.conn.close()
+                        del running[index]
+                    elif not handle.process.is_alive():
+                        code = handle.process.exitcode
+                        results[index] = self._fail(
+                            jobs, handle, "crash",
+                            f"WorkerCrash: worker exited with code {code} "
+                            "before delivering a result", "crash")
+                        handle.conn.close()
+                        del running[index]
+                    elif sweep_expired:
+                        self._kill(handle)
+                        results[index] = self._fail(
+                            jobs, handle, "timeout",
+                            f"WorkerTimeout: sweep deadline "
+                            f"{self.deadline:.1f}s exceeded", "deadline-kill")
+                        del running[index]
+                    elif handle.kill_at is not None and now >= handle.kill_at:
+                        self._kill(handle)
+                        budget = handle.kill_at - handle.started
+                        results[index] = self._fail(
+                            jobs, handle, "timeout",
+                            f"WorkerTimeout: job exceeded its {budget:.1f}s "
+                            "timeout", "timeout-kill")
+                        del running[index]
+                    elif self._heartbeat_stale(handle, now):
+                        self._kill(handle)
+                        results[index] = self._fail(
+                            jobs, handle, "timeout",
+                            "WorkerTimeout: worker stalled (heartbeat stale "
+                            f"for > {self.heartbeat_timeout:.1f}s)",
+                            "heartbeat-kill")
+                        del running[index]
+                if sweep_expired and queue:
+                    while queue:
+                        index = queue.popleft()
+                        results[index] = JobResult(
+                            name=jobs[index].name, ok=False,
+                            error=f"WorkerTimeout: sweep deadline "
+                                  f"{self.deadline:.1f}s exceeded before the "
+                                  "job started",
+                            traceback="(never started: sweep deadline)",
+                            error_kind="timeout")
+                        self.interventions.append({
+                            "index": index, "name": jobs[index].name,
+                            "action": "deadline-drop",
+                            "detail": "queued past the sweep deadline",
+                        })
+                if queue or running:
+                    time.sleep(self.poll_interval)
+        return [r for r in results if r is not None]
+
+
+def run_supervised(jobs: list, max_workers: int, mp_context=None,
+                   timeout: float | None = None, deadline: float | None = None,
+                   heartbeat_timeout: float | None = None,
+                   heartbeat_dir=None) -> tuple[list, list[dict]]:
+    """One supervised pass over ``jobs``; returns (results, interventions)."""
+    supervisor = Supervisor(
+        max_workers=max_workers, mp_context=mp_context, timeout=timeout,
+        deadline=deadline, heartbeat_timeout=heartbeat_timeout,
+        heartbeat_dir=heartbeat_dir)
+    return supervisor.run(jobs), supervisor.interventions

@@ -21,6 +21,7 @@ consumed and produced.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -51,6 +52,14 @@ def default_store() -> "ArtifactStore":
     return ArtifactStore(default_store_root())
 
 
+def _file_sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
 @dataclass
 class ArtifactEntry:
     """One committed artifact: its key, provenance spec, and file locations."""
@@ -60,6 +69,9 @@ class ArtifactEntry:
     metadata: dict = field(default_factory=dict)
     created_at: float = 0.0
     nbytes: int = 0
+    # SHA-256 of the blob file itself (the key hashes the *spec*, not the
+    # bytes); None on sidecars written before integrity tracking existed.
+    blob_sha256: str | None = None
     path: Path | None = None      # the .npz blob
     sidecar: Path | None = None   # the .json commit marker
 
@@ -114,11 +126,13 @@ class ArtifactStore:
         entry = ArtifactEntry(
             key=key, spec=spec, metadata=canonicalize(metadata or {}),
             created_at=time.time(), nbytes=blob_path.stat().st_size,
+            blob_sha256=_file_sha256(blob_path),
             path=blob_path, sidecar=sidecar_path,
         )
         payload = json.dumps({
             "key": key, "spec": spec, "metadata": entry.metadata,
             "created_at": entry.created_at, "nbytes": entry.nbytes,
+            "blob_sha256": entry.blob_sha256,
         }, indent=2, sort_keys=True)
         fd, tmp_name = tempfile.mkstemp(dir=sidecar_path.parent,
                                         prefix=sidecar_path.name, suffix=".tmp")
@@ -153,16 +167,47 @@ class ArtifactStore:
             metadata=doc.get("metadata", {}),
             created_at=float(doc.get("created_at", 0.0)),
             nbytes=int(doc.get("nbytes", 0)),
+            blob_sha256=doc.get("blob_sha256"),
             path=blob_path, sidecar=sidecar_path,
         )
 
     def contains(self, spec: dict) -> bool:
         return self.entry(spec) is not None
 
+    def _blob_corruption(self, entry: ArtifactEntry) -> str | None:
+        """Why the blob behind ``entry``'s valid sidecar can't be trusted.
+
+        A truncated or bit-flipped ``.npz`` behind an intact sidecar is
+        the nastiest store corruption: the artifact *looks* committed.
+        Size first (one stat), then the recorded content hash.  Sidecars
+        from before integrity tracking (no ``blob_sha256``) only get the
+        checks their fields allow.
+        """
+        try:
+            actual = entry.path.stat().st_size
+        except OSError as exc:
+            return f"blob unreadable ({exc})"
+        if entry.nbytes and actual != entry.nbytes:
+            return (f"blob is {actual} bytes, sidecar records "
+                    f"{entry.nbytes} (truncated or overwritten)")
+        if entry.blob_sha256 is not None:
+            actual_hash = _file_sha256(entry.path)
+            if actual_hash != entry.blob_sha256:
+                return (f"blob sha256 {actual_hash[:12]}… does not match "
+                        f"sidecar's {entry.blob_sha256[:12]}… (corrupt)")
+        return None
+
     def get(self, spec: dict) -> tuple[dict[str, np.ndarray], ArtifactEntry] | None:
-        """Load ``(state, entry)`` for ``spec``; None on miss or unreadable blob."""
+        """Load ``(state, entry)`` for ``spec``; None on miss or corrupt blob.
+
+        A corrupt/truncated blob is treated exactly like a cache miss so
+        callers fall back to retraining instead of crashing on (or worse,
+        silently serving) damaged arrays.
+        """
         entry = self.entry(spec)
         if entry is None:
+            return None
+        if self._blob_corruption(entry) is not None:
             return None
         try:
             state, _ = load_state(entry.path)
@@ -232,8 +277,9 @@ class ArtifactStore:
         """Integrity scan; returns human-readable problem descriptions.
 
         Checks: sidecar parses, its recorded key matches the spec's
-        content address *and* the filename, the blob exists and loads,
-        and no orphan blobs are lying around.
+        content address *and* the filename, the blob exists, matches the
+        sidecar's recorded size and SHA-256, and loads, and no orphan
+        blobs are lying around.
         """
         problems: list[str] = []
         if not self.objects_dir.exists():
@@ -257,6 +303,12 @@ class ArtifactStore:
             if not blob.exists():
                 problems.append(f"{key}: blob missing")
                 continue
+            entry = self.entry_by_key(key)
+            if entry is not None:
+                corruption = self._blob_corruption(entry)
+                if corruption is not None:
+                    problems.append(f"{key}: {corruption}")
+                    continue
             try:
                 load_state(blob)
             except Exception as exc:  # noqa: BLE001 — report, don't crash the scan

@@ -76,13 +76,15 @@ class RunManifest:
 
     def record_job(self, name: str, ok: bool, duration: float = 0.0,
                    error: str | None = None, traceback: str | None = None,
-                   attempts: int = 1) -> None:
+                   attempts: int = 1, error_kind: str | None = None) -> None:
         """Append one job outcome; failed jobs double as crash records."""
         record: dict = {"name": name, "ok": ok, "duration": duration}
         if attempts != 1:
             record["attempts"] = attempts
         if error is not None:
             record["error"] = error
+        if error_kind is not None:
+            record["error_kind"] = error_kind
         if traceback is not None:
             record["traceback"] = traceback
         self.jobs.append(record)

@@ -136,12 +136,12 @@ class Telemetry:
 
     def record_job(self, name: str, ok: bool, duration: float = 0.0,
                    error: str | None = None, traceback: str | None = None,
-                   attempts: int = 1) -> None:
+                   attempts: int = 1, error_kind: str | None = None) -> None:
         """Forward a job outcome to the manifest (no-op without one)."""
         if self.manifest is not None:
             self.manifest.record_job(name, ok, duration=duration,
                                      error=error, traceback=traceback,
-                                     attempts=attempts)
+                                     attempts=attempts, error_kind=error_kind)
 
     def record_artifact(self, key: str, role: str, kind: str | None = None) -> None:
         """Record an artifact-store hit/write: manifest entry + event."""

@@ -1,0 +1,464 @@
+"""Chaos battery: the fault-containment layer under injected faults.
+
+Every fault here is produced by :mod:`repro.faultinject` — seeded,
+step-addressed, marker-file counted — so failures replay exactly.
+
+1. Env faults: ``FaultyEnv`` raises / emits NaN at specified steps,
+   deterministically per injector seed.
+2. Numerical-health guards: NaN/Inf/magnitude violations raise
+   structured ``NumericalDivergence`` before any optimizer or
+   checkpoint mutation.
+3. Supervisor watchdog: hung, stalled (SIGSTOP), and crashed workers
+   are killed and classified; sweep deadlines always terminate.
+4. Scheduler containment: retries with seeded backoff, pool breakage
+   requeue + inline degradation, and the acceptance sweep — one hang,
+   one crash, one NaN divergence, everything else succeeds and the
+   diverged cell recovers bit-identically from its last healthy
+   checkpoint.
+5. Store corruption: a truncated blob behind a valid sidecar is caught
+   by ``verify`` and treated as a cache miss by ``get``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.attacks import AttackConfig
+from repro.attacks.imap.regularizers import RiskRegularizer
+from repro.faultinject import (
+    FaultInjectionError,
+    FaultInjector,
+    FaultSpec,
+    WorkerFault,
+    truncate_blob,
+)
+from repro.nn import as_tensor
+from repro.rl import (
+    NumericalDivergence,
+    TrainConfig,
+    check_finite,
+    check_gradients,
+    train_ppo,
+)
+from repro.runtime import (
+    ERROR_KINDS,
+    Job,
+    compute_backoff,
+    classify_exception,
+    run_parallel,
+)
+from repro.runtime.supervisor import WorkerTimeout
+from repro.store import ArtifactStore
+from repro.telemetry import Telemetry
+
+SEED = 5
+STEPS = 64
+
+
+# ----------------------------------------------------- picklable job helpers
+
+def _ok_job(value=1, seed=None):
+    return value
+
+
+def _sleep_job(seconds=3600.0, seed=None):
+    time.sleep(seconds)
+    return "woke"
+
+
+def _sigstop_job(seed=None):
+    # Freeze this worker process without exiting: heartbeat thread stops
+    # beating while the process stays "alive" — the stalled-worker case.
+    os.kill(os.getpid(), signal.SIGSTOP)
+    return "resumed"
+
+
+@dataclass
+class _InjectedNaNLoss:
+    """extra_loss hook that returns one NaN once armed, else exact zero.
+
+    Arming is two-stage so the fault fires *after* a healthy checkpoint
+    exists: the training callback writes ``phase_path`` when iteration 0
+    completes, and the first extra-loss call after that claims
+    ``marker`` (O_EXCL, cross-process) and returns NaN.  With
+    ``marker=None`` the hook is inert but still runs the same zero-loss
+    code path, so faulted-and-recovered runs stay bit-comparable to an
+    unfaulted baseline.
+    """
+
+    marker: str | None = None
+    phase_path: str | None = None
+
+    def __call__(self, policy, obs, dist):
+        if (self.marker is not None and self.phase_path is not None
+                and os.path.exists(self.phase_path)):
+            try:
+                os.close(os.open(self.marker,
+                                 os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return as_tensor(float("nan"))
+            except FileExistsError:
+                pass
+        return as_tensor(0.0)
+
+
+def _train_job(checkpoint_path=None, checkpoint_every=0, nan_marker=None,
+               phase_path=None, hang_marker=None, iterations=3, seed=None):
+    """Picklable training cell with optional injected NaN loss or hang.
+
+    ``nan_marker``+``phase_path``: diverge once during iteration 1 (see
+    :class:`_InjectedNaNLoss`).  ``hang_marker``: hang once in the
+    iteration-1 callback (after iteration 0 checkpointed) — pair with a
+    supervisor timeout.  Returns history + final parameters so tests can
+    assert bit-identical recovery.
+    """
+    extra = _InjectedNaNLoss(marker=nan_marker, phase_path=phase_path)
+
+    def callback(iteration, policy, record):
+        if phase_path is not None and iteration == 0:
+            open(phase_path, "w").close()
+        if hang_marker is not None and iteration == 1:
+            try:
+                os.close(os.open(hang_marker,
+                                 os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                time.sleep(3600.0)
+            except FileExistsError:
+                pass
+
+    config = TrainConfig(iterations=iterations, steps_per_iteration=STEPS,
+                         seed=SEED)
+    result = train_ppo(envs.make("Hopper-v0"), config, extra_loss=extra,
+                       callback=callback, checkpoint_path=checkpoint_path,
+                       checkpoint_every=checkpoint_every)
+    return {"history": result.history, "params": result.policy.state_dict()}
+
+
+def _assert_same_outcome(actual: dict, baseline: dict) -> None:
+    assert actual["history"] == baseline["history"]
+    assert sorted(actual["params"]) == sorted(baseline["params"])
+    for key, value in baseline["params"].items():
+        np.testing.assert_array_equal(actual["params"][key], value,
+                                      err_msg=key)
+
+
+# -------------------------------------------------------------- env faults
+
+class TestFaultyEnv:
+    def _env(self, *specs, seed=0):
+        injector = FaultInjector(seed=seed)
+        return injector, injector.wrap_env(envs.make("Hopper-v0"), *specs)
+
+    def test_raise_at_exact_step(self):
+        injector, env = self._env(FaultSpec("raise", at_step=3))
+        env.reset(seed=0)
+        action = np.zeros(env.action_space.shape)
+        with injector:
+            env.step(action)
+            env.step(action)
+            with pytest.raises(FaultInjectionError, match="step 3"):
+                env.step(action)
+        assert injector.fired == [(3, "raise")]
+
+    def test_nan_poisons_obs_and_reward_once(self):
+        injector, env = self._env(FaultSpec("nan", at_step=2))
+        env.reset(seed=0)
+        action = np.zeros(env.action_space.shape)
+        with injector:
+            obs1, reward1, *_ = env.step(action)
+            obs2, reward2, *_ = env.step(action)
+            obs3, reward3, *_ = env.step(action)
+        assert np.isfinite(obs1).all() and np.isfinite(reward1)
+        assert np.isnan(obs2).all() and np.isnan(reward2)
+        assert np.isfinite(obs3).all() and np.isfinite(reward3)  # once=True
+
+    def test_probabilistic_faults_replay_identically(self):
+        def fire_steps(seed):
+            injector, env = self._env(
+                FaultSpec("nan", probability=0.3, once=False), seed=seed)
+            env.reset(seed=0)
+            action = np.zeros(env.action_space.shape)
+            with injector:
+                for _ in range(30):
+                    env.step(action)
+            return injector.fired
+
+        assert fire_steps(11) == fire_steps(11)
+        assert fire_steps(11) != fire_steps(12)
+
+    def test_inactive_injector_passes_through(self):
+        injector, env = self._env(FaultSpec("raise", at_step=1))
+        env.reset(seed=0)
+        env.step(np.zeros(env.action_space.shape))  # no `with`: no fault
+        assert injector.fired == []
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("explode", at_step=1)
+        with pytest.raises(ValueError, match="can never fire"):
+            FaultSpec("raise")
+        with pytest.raises(ValueError, match="unknown worker fault kind"):
+            WorkerFault(_ok_job, "explode", "marker")
+
+
+# ------------------------------------------------------------ health guards
+
+class TestHealthGuards:
+    def test_clean_values_pass_through(self):
+        values = np.array([1.0, -2.0, 3.0])
+        assert check_finite("returns", values) is values
+
+    def test_nan_raises_with_stats(self):
+        with pytest.raises(NumericalDivergence) as excinfo:
+            check_finite("returns", np.array([1.0, np.nan, np.inf]),
+                         iteration=4)
+        err = excinfo.value
+        assert err.what == "returns" and err.iteration == 4
+        assert err.stats["nan"] == 1 and err.stats["inf"] == 1
+        assert "returns" in str(err) and "iteration 4" in str(err)
+
+    def test_magnitude_guard(self):
+        check_finite("loss", 1e5, max_abs=1e6)
+        with pytest.raises(NumericalDivergence, match="loss"):
+            check_finite("loss", -1e9, max_abs=1e6)
+
+    def test_gradient_guard(self):
+        class Param:
+            def __init__(self, grad):
+                self.grad = grad
+
+        check_gradients([Param(np.ones(3)), Param(None)])
+        with pytest.raises(NumericalDivergence, match="gradients"):
+            check_gradients([Param(np.array([1.0, np.nan]))])
+
+    def test_regularizer_bonus_guard(self):
+        reg = RiskRegularizer(AttackConfig())
+        with pytest.raises(NumericalDivergence, match="RiskRegularizer"):
+            reg._checked(np.array([0.0, np.nan]))
+
+    def test_nan_loss_aborts_training_before_checkpoint(self, tmp_path):
+        phase = tmp_path / "phase"
+        open(phase, "w").close()  # armed from the start ...
+        ckpt = tmp_path / "ppo.ckpt.npz"
+        with pytest.raises(NumericalDivergence, match="loss"):
+            _train_job(checkpoint_path=str(ckpt), checkpoint_every=1,
+                       nan_marker=str(tmp_path / "nan"),
+                       phase_path=str(phase))
+        # ... so the divergence hit in iteration 0, before any checkpoint.
+        assert not ckpt.exists()
+
+    def test_classification_taxonomy(self):
+        assert classify_exception(RuntimeError("boom")) == "crash"
+        assert classify_exception(TimeoutError()) == "timeout"
+        assert classify_exception(WorkerTimeout()) == "timeout"
+        assert classify_exception(pickle.PicklingError("no")) == "pickling"
+        try:
+            check_finite("x", np.array([np.nan]))
+        except NumericalDivergence as exc:
+            assert classify_exception(exc) == "numerical"
+        from concurrent.futures.process import BrokenProcessPool
+        assert classify_exception(BrokenProcessPool("dead")) == "pool_broken"
+        assert set(ERROR_KINDS) == {
+            "crash", "timeout", "numerical", "pickling", "pool_broken"}
+
+
+# ----------------------------------------------------------------- watchdog
+
+class TestSupervisor:
+    def test_hung_worker_killed_at_timeout(self):
+        start = time.perf_counter()
+        report = run_parallel([
+            Job(_ok_job, kwargs={"value": 7}, name="fine"),
+            Job(_sleep_job, name="hung", timeout=1.0),
+        ], max_workers=2)
+        assert time.perf_counter() - start < 30.0  # not 3600
+        by_name = {r.name: r for r in report.results}
+        assert by_name["fine"].ok and by_name["fine"].value == 7
+        assert not by_name["hung"].ok
+        assert by_name["hung"].error_kind == "timeout"
+        assert any(act["action"] == "timeout-kill"
+                   for act in report.interventions)
+
+    def test_crashed_worker_classified_and_retried(self, tmp_path):
+        marker = tmp_path / "crash-once"
+        report = run_parallel(
+            [Job(WorkerFault(_ok_job, "crash", str(marker)),
+                 kwargs={"value": 3}, name="crashy")],
+            retries=1, timeout=60.0)
+        result = report.results[0]
+        assert result.ok and result.value == 3 and result.attempts == 2
+        (attempt, failed), = [r for r in report.retried]
+        assert attempt == 1 and failed.error_kind == "crash"
+        assert "exited with code 13" in failed.error
+
+    def test_stalled_worker_caught_by_heartbeat(self):
+        report = run_parallel([Job(_sigstop_job, name="stalled")],
+                              heartbeat_timeout=1.0)
+        result = report.results[0]
+        assert not result.ok and result.error_kind == "timeout"
+        assert "heartbeat" in result.error
+        assert any(act["action"] == "heartbeat-kill"
+                   for act in report.interventions)
+
+    def test_sweep_deadline_terminates_everything(self):
+        start = time.perf_counter()
+        report = run_parallel(
+            [Job(_sleep_job, name=f"h{i}") for i in range(3)],
+            max_workers=1, deadline=1.5)
+        assert time.perf_counter() - start < 30.0
+        assert all(r.error_kind == "timeout" for r in report.results)
+        actions = {act["action"] for act in report.interventions}
+        assert "deadline-kill" in actions and "deadline-drop" in actions
+
+
+# --------------------------------------------------------- retries + backoff
+
+class TestRetryBackoff:
+    def test_backoff_is_seeded_and_exponential(self):
+        a = [compute_backoff(0.1, r, np.random.default_rng(3))
+             for r in (1, 2, 3)]
+        b = [compute_backoff(0.1, r, np.random.default_rng(3))
+             for r in (1, 2, 3)]
+        assert a == b  # same seed, same delays
+        for round_index, delay in enumerate(a, start=1):
+            scale = 0.1 * 2 ** (round_index - 1)
+            assert 0.5 * scale <= delay <= scale
+
+    def test_zero_base_disables_backoff_without_touching_rng(self):
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        assert compute_backoff(0.0, 5, rng) == 0.0
+        assert rng.bit_generator.state == before
+
+    def test_run_parallel_sleeps_between_retry_rounds(self, tmp_path):
+        marker = tmp_path / "raise-twice"
+        start = time.perf_counter()
+        report = run_parallel(
+            [Job(WorkerFault(_ok_job, "raise", str(marker), times=2),
+                 name="flaky")],
+            retries=2, retry_backoff=0.2, backoff_seed=1)
+        elapsed = time.perf_counter() - start
+        assert report.results[0].ok and report.results[0].attempts == 3
+        assert elapsed >= 0.2  # round 1 ≥ 0.1, round 2 ≥ 0.2
+
+
+# ----------------------------------------------------------- pool breakage
+
+class TestPoolDegradation:
+    def test_broken_pool_requeues_then_degrades_inline(self, tmp_path):
+        marker = tmp_path / "crash-twice"
+        telemetry = Telemetry.in_memory()
+        jobs = [Job(WorkerFault(_ok_job, "crash", str(marker), times=2),
+                    kwargs={"value": 0}, name="crasher")]
+        jobs += [Job(_ok_job, kwargs={"value": i}, name=f"ok{i}")
+                 for i in (1, 2, 3)]
+        report = run_parallel(jobs, max_workers=2, telemetry=telemetry)
+        assert report.n_failed == 0, report.failures
+        assert report.degraded
+        assert {r.name for _, r in report.retried} >= {"crasher"}
+        assert all(r.error_kind == "pool_broken" for _, r in report.retried)
+        assert report.values()[:4] == [0, 1, 2, 3]
+        assert any(e["type"] == "schedule.degraded"
+                   for e in telemetry.sink.events)
+        assert "degraded to inline" in report.summary()
+
+
+# ------------------------------------------------------------ the acceptance
+
+class TestAcceptanceSweep:
+    def test_faulted_sweep_contains_all_three_faults(self, tmp_path):
+        baseline = _train_job(iterations=3)
+
+        jobs = [
+            Job(_ok_job, kwargs={"value": 11}, name="cell-a"),
+            Job(_train_job, name="diverge", checkpointable=True,
+                kwargs={"nan_marker": str(tmp_path / "nan"),
+                        "phase_path": str(tmp_path / "phase")}),
+            Job(WorkerFault(_ok_job, "hang", str(tmp_path / "hang"),
+                            times=99), name="hung", timeout=1.5),
+            Job(WorkerFault(_ok_job, "crash", str(tmp_path / "crash")),
+                kwargs={"value": 33}, name="crashed"),
+            Job(_ok_job, kwargs={"value": 22}, name="cell-b"),
+        ]
+        telemetry = Telemetry.in_memory()
+        report = run_parallel(jobs, max_workers=2, retries=1, timeout=90.0,
+                              checkpoint_dir=tmp_path / "ckpts",
+                              checkpoint_every=1, telemetry=telemetry)
+
+        by_name = {r.name: r for r in report.results}
+        # Every healthy cell succeeded despite its faulty neighbours.
+        assert by_name["cell-a"].ok and by_name["cell-a"].value == 11
+        assert by_name["cell-b"].ok and by_name["cell-b"].value == 22
+        # The permanently hung cell was killed (twice) and classified.
+        assert not by_name["hung"].ok
+        assert by_name["hung"].error_kind == "timeout"
+        assert by_name["hung"].attempts == 2
+        # The crash was classified and its retry succeeded.
+        assert by_name["crashed"].ok and by_name["crashed"].value == 33
+        assert by_name["crashed"].attempts == 2
+        # Requeued attempts carry the correct taxonomy tags.
+        retried_kinds = {r.name: r.error_kind for _, r in report.retried}
+        assert retried_kinds["crashed"] == "crash"
+        assert retried_kinds["diverge"] == "numerical"
+        assert retried_kinds["hung"] == "timeout"
+        # The diverged cell recovered bit-identically from the last
+        # healthy checkpoint (iteration 1, written before the NaN fired).
+        assert by_name["diverge"].ok and by_name["diverge"].attempts == 2
+        _assert_same_outcome(by_name["diverge"].value, baseline)
+        # ... and telemetry classified every requeued attempt.
+        attempts = [e["payload"] for e in telemetry.sink.events
+                    if e["type"] == "job.attempt"]
+        assert ({(p["name"], p["error_kind"]) for p in attempts}
+                >= {("crashed", "crash"), ("diverge", "numerical"),
+                    ("hung", "timeout")})
+
+    def test_kill_and_resume_under_injected_hang(self, tmp_path):
+        baseline = _train_job(iterations=3)
+        report = run_parallel(
+            [Job(_train_job, name="hangs-mid-train", checkpointable=True,
+                 kwargs={"hang_marker": str(tmp_path / "hang")},
+                 timeout=10.0)],
+            retries=1, checkpoint_dir=tmp_path / "ckpts", checkpoint_every=1)
+        result = report.results[0]
+        assert result.ok and result.attempts == 2
+        (attempt, failed), = report.retried
+        assert failed.error_kind == "timeout"
+        # Killed mid-iteration-1; the retry resumed from iteration 1's
+        # checkpoint and finished exactly as a run that never hung.
+        _assert_same_outcome(result.value, baseline)
+
+
+# ------------------------------------------------------------ store faults
+
+class TestStoreCorruption:
+    def _store(self, tmp_path) -> tuple[ArtifactStore, str]:
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put({"kind": "victim", "env_id": "Hopper-v0"},
+                          {"w": np.arange(64, dtype=np.float64)})
+        return store, entry.key
+
+    def test_truncated_blob_reported_by_verify(self, tmp_path):
+        store, key = self._store(tmp_path)
+        assert store.verify() == []
+        truncate_blob(store, key)
+        problems = store.verify()
+        assert len(problems) == 1
+        assert "truncated" in problems[0] or "bytes" in problems[0]
+
+    def test_truncated_blob_is_a_cache_miss(self, tmp_path):
+        store, key = self._store(tmp_path)
+        spec = {"kind": "victim", "env_id": "Hopper-v0"}
+        assert store.get(spec) is not None
+        truncate_blob(store, key)
+        assert store.get(spec) is None  # caller falls back to retraining
+
+    def test_truncate_requires_committed_artifact(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(FileNotFoundError):
+            truncate_blob(store, "0" * 64)

@@ -199,3 +199,20 @@ class TestRolloutAndTraining:
                                               hidden_sizes=(8,), seed=0),
                   callback=lambda i, p, s: seen.append(i))
         assert seen == [0, 1, 2]
+
+    def test_quick_eval_rejects_zero_episodes(self, rng):
+        from repro.rl import quick_eval
+        env = envs.make("Hopper-v0")
+        policy = ActorCritic(11, 3, hidden_sizes=(16,), rng=rng)
+        for episodes in (0, -1):
+            with pytest.raises(ValueError, match="episodes >= 1"):
+                quick_eval(env, policy, episodes=episodes)
+            with pytest.raises(ValueError, match="episodes >= 1"):
+                evaluate_policy(env, policy, episodes=episodes, rng=rng)
+
+    def test_empty_episode_stats_refuse_to_aggregate(self):
+        stats = EpisodeStats()
+        assert len(stats) == 0
+        for aggregate in ("mean_return", "std_return", "success_rate"):
+            with pytest.raises(ValueError, match="zero finished episodes"):
+                getattr(stats, aggregate)

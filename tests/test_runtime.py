@@ -269,6 +269,28 @@ class TestScheduler:
         assert report.total_job_time >= 0
         assert report.max_workers == 2
 
+    def test_zero_wall_clock_reports_neutral_speedup(self):
+        from repro.runtime import JobResult, ScheduleReport
+        report = ScheduleReport(
+            results=[JobResult(name="a", ok=True, duration=0.0)],
+            wall_clock=0.0, max_workers=2)
+        # Sub-resolution sweeps must not claim "0.00x speedup".
+        assert report.speedup == 1.0
+        assert "speedup" not in report.summary()
+        assert "1/1 jobs ok" in report.summary()
+
+    def test_derive_job_seeds_rejects_bad_inputs(self):
+        with pytest.raises(TypeError, match="base_seed must be an integer"):
+            derive_job_seeds("42", 3)
+        with pytest.raises(TypeError, match="base_seed must be an integer"):
+            derive_job_seeds(True, 3)
+        with pytest.raises(ValueError, match="non-negative integer"):
+            derive_job_seeds(42, -1)
+        with pytest.raises(ValueError, match="non-negative integer"):
+            derive_job_seeds(42, 2.5)
+        assert derive_job_seeds(42, 0) == []
+        assert derive_job_seeds(np.int64(42), 2) == derive_job_seeds(42, 2)
+
 
 class TestMultiSeedParallel:
     def test_parallel_matches_sequential_selection(self, small_victim):
@@ -296,6 +318,12 @@ class TestCliJobsFlag:
         args = build_parser().parse_args(["table1", "--jobs", "3"])
         assert args.jobs == 3
         assert build_parser().parse_args(["table1"]).jobs == 1
+
+    def test_parser_accepts_job_timeout(self):
+        from repro.experiments.cli import build_parser
+        args = build_parser().parse_args(["table1", "--job-timeout", "120"])
+        assert args.job_timeout == 120.0
+        assert build_parser().parse_args(["table1"]).job_timeout is None
 
     def test_run_short_experiments_parser(self):
         import importlib.util

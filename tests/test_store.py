@@ -174,6 +174,45 @@ class TestArtifactStore:
         entry.sidecar.write_text(json.dumps(doc))
         assert any("mismatch" in p for p in store.verify())
 
+    def test_sidecar_records_blob_size_and_hash(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put(SPEC, _state())
+        doc = json.loads(entry.sidecar.read_text())
+        assert doc["nbytes"] == entry.path.stat().st_size
+        assert doc["blob_sha256"] == entry.blob_sha256
+        assert len(entry.blob_sha256) == 64
+        assert store.verify() == []
+
+    def test_truncated_blob_detected_and_treated_as_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put(SPEC, _state())
+        with open(entry.path, "r+b") as fh:
+            fh.truncate(16)  # sidecar still says committed
+        problems = store.verify()
+        assert any("truncated" in p for p in problems), problems
+        # get() treats corruption as a cache miss → caller retrains.
+        assert store.get(SPEC) is None
+
+    def test_bitflipped_blob_detected_by_hash(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put(SPEC, _state())
+        corrupted = bytearray(entry.path.read_bytes())
+        corrupted[len(corrupted) // 2] ^= 0xFF  # same size, different bytes
+        entry.path.write_bytes(bytes(corrupted))
+        problems = store.verify()
+        assert any("sha256" in p for p in problems), problems
+        assert store.get(SPEC) is None
+
+    def test_legacy_sidecar_without_hash_still_loads(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put(SPEC, _state())
+        doc = json.loads(entry.sidecar.read_text())
+        del doc["blob_sha256"]  # sidecar from before integrity tracking
+        entry.sidecar.write_text(json.dumps(doc))
+        assert store.verify() == []
+        state, _ = store.get(SPEC)
+        np.testing.assert_array_equal(state["w"], _state()["w"])
+
     def test_prune_keep_latest_per_group(self, tmp_path):
         store = ArtifactStore(tmp_path / "store")
         for seed in range(3):
