@@ -1,0 +1,226 @@
+"""Before/after benchmark for the amortized density index (PR 5).
+
+Replays the PolicyCoverageRegularizer per-iteration bonus path on
+**real adversary-rollout features** — states collected from the repo's
+own :class:`StatePerturbationEnv` at the environment's default
+perturbation budget — and compares the legacy from-scratch estimator
+(rebuild the cKDTree over all of ``B`` on every compute) against the
+incremental :class:`~repro.density.IncrementalKnnIndex`.  Results land
+in a machine-readable ``BENCH_density.json``.
+
+Real features matter here: rollout states concentrate on a
+low-dimensional manifold, unlike an iid-Gaussian synthetic cloud whose
+k-NN queries degenerate toward brute force at observation
+dimensionality.  The bench fills the union buffer to its configured
+size and past it, so the measured iterations sit in the reservoir
+*replacement* regime — the steady state of a real attack run, where
+the buffer is at capacity (``AttackConfig.union_buffer_capacity``
+defaults to 50k) and the reservoir has shuffled trajectory locality
+away.  The two paths must agree bit-for-bit — the bench asserts it —
+so the speedup is free of accuracy caveats.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_density.py            # 50k buffer
+    PYTHONPATH=src python benchmarks/bench_density.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import envs
+from repro.attacks import StatePerturbationEnv, collect_adversary_rollout
+from repro.attacks.threat_models import default_epsilon
+from repro.density import IncrementalKnnIndex, KnnDensityEstimator, UnionStateBuffer
+from repro.rl import ActorCritic
+
+
+def baseline_bonus(features: np.ndarray, union_states: np.ndarray, k: int) -> np.ndarray:
+    """The pre-index PC bonus: fresh cKDTree over D *and* B per call."""
+    fresh = KnnDensityEstimator(features, k=k)
+    dist_d = fresh.distance(features, exclude_self=True)
+    if len(union_states) == 0:
+        dist_b = np.ones_like(dist_d)
+    else:
+        dist_b = KnnDensityEstimator(union_states, k=k).distance(features)
+    return np.sqrt(dist_d * dist_b)
+
+
+def indexed_bonus(features: np.ndarray, index: IncrementalKnnIndex, k: int) -> np.ndarray:
+    """The PR-5 PC bonus: throwaway D index + maintained B index."""
+    fresh = IncrementalKnnIndex.over(features)
+    dist_d = fresh.query(features, k, exclude_self=True)
+    if len(index) == 0:
+        dist_b = np.ones_like(dist_d)
+    else:
+        dist_b = index.query(features, k)
+    return np.sqrt(dist_d * dist_b)
+
+
+def make_feature_source(args: argparse.Namespace):
+    """Rollout-feature generator over the repo's own threat model."""
+    rng = np.random.default_rng(args.seed)
+    victim_env = envs.make(args.env_id)
+    obs_dim = victim_env.observation_space.shape[0]
+    action_dim = victim_env.action_space.shape[0]
+    victim = ActorCritic(obs_dim, action_dim, hidden_sizes=(8,),
+                         rng=np.random.default_rng(args.seed + 1))
+    adv_env = StatePerturbationEnv(victim_env, victim, epsilon=args.epsilon)
+    adv_env.seed(args.seed)
+    adversary = ActorCritic(obs_dim, obs_dim, hidden_sizes=(8,),
+                            rng=np.random.default_rng(args.seed + 2))
+
+    def rollout_features() -> np.ndarray:
+        rollout = collect_adversary_rollout(adv_env, adversary, args.rollout, rng,
+                                            update_normalizer=True)
+        return rollout.knn_victim.copy()
+
+    return obs_dim, rollout_features
+
+
+def sync_index(index: IncrementalKnnIndex, union: UnionStateBuffer, delta) -> None:
+    if delta.append_only:
+        index.add(delta.appended)
+    else:
+        index.reset(union.states)
+
+
+def run(args: argparse.Namespace) -> dict:
+    feature_dim, rollout_features = make_feature_source(args)
+    # capacity == measured size: filling past it lands the measured
+    # iterations in the reservoir-replacement steady state
+    union = UnionStateBuffer(capacity=args.buffer_size, seed=args.seed)
+    index = IncrementalKnnIndex()
+
+    fill_start = time.perf_counter()
+    fill_iters = 0
+    while union.total_seen < args.buffer_size:
+        sync_index(index, union, union.extend(rollout_features()))
+        fill_iters += 1
+    # settle: warm the index's spatial layout with two replacement cycles
+    for _ in range(2):
+        sync_index(index, union, union.extend(rollout_features()))
+        fill_iters += 1
+    fill_seconds = time.perf_counter() - fill_start
+
+    baseline_bonus_s, indexed_bonus_s = [], []
+    baseline_update_s, indexed_update_s = [], []
+    equivalent = True
+    for _ in range(args.measure_iters):
+        features = rollout_features()
+
+        start = time.perf_counter()
+        legacy = baseline_bonus(features, union.states, args.k)
+        baseline_bonus_s.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        amortized = indexed_bonus(features, index, args.k)
+        indexed_bonus_s.append(time.perf_counter() - start)
+
+        equivalent = equivalent and np.array_equal(legacy, amortized)
+
+        # maintenance: baseline only extends the buffer; the indexed path
+        # additionally pays the pending/rebuild bookkeeping
+        start = time.perf_counter()
+        delta = union.extend(features)
+        baseline_update_s.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        sync_index(index, union, delta)
+        indexed_update_s.append(time.perf_counter() - start)
+
+    def mean(xs: list[float]) -> float:
+        return float(np.mean(xs))
+
+    baseline_iter = mean(baseline_bonus_s) + mean(baseline_update_s)
+    indexed_iter = mean(indexed_bonus_s) + mean(indexed_update_s)
+    return {
+        "benchmark": "density_index_pc_bonus_path",
+        "config": {
+            "buffer_size": args.buffer_size, "rollout": args.rollout,
+            "env_id": args.env_id, "epsilon": args.epsilon,
+            "feature_dim": feature_dim, "k": args.k,
+            "measure_iters": args.measure_iters,
+            "seed": args.seed, "quick": args.quick,
+            "regime": "reservoir_replacement",
+        },
+        "fill": {"iterations": fill_iters, "seconds": fill_seconds,
+                 "rebuilds": index.rebuilds},
+        "bonus_path": {
+            "baseline_s_per_iter": mean(baseline_bonus_s),
+            "indexed_s_per_iter": mean(indexed_bonus_s),
+            "speedup": mean(baseline_bonus_s) / mean(indexed_bonus_s),
+        },
+        "maintenance": {
+            "baseline_s_per_iter": mean(baseline_update_s),
+            "indexed_s_per_iter": mean(indexed_update_s),
+        },
+        "per_iteration_total": {
+            "baseline_s": baseline_iter,
+            "indexed_s": indexed_iter,
+            "speedup": baseline_iter / indexed_iter,
+        },
+        "index_stats": {"n_indexed": index.n_indexed, "n_pending": index.n_pending,
+                        "rebuilds": index.rebuilds,
+                        "pending_hits": index.pending_hits,
+                        "query_chunks": index.query_chunks},
+        "equivalent": equivalent,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-scale smoke run (small buffer, fewer iters)")
+    parser.add_argument("--buffer-size", type=int, default=None,
+                        help="union-buffer capacity to measure at "
+                             "(default 50000, the AttackConfig default; 8192 with --quick)")
+    parser.add_argument("--rollout", type=int, default=None,
+                        help="states per iteration (default 2048, the AttackConfig "
+                             "default; 512 with --quick)")
+    parser.add_argument("--env-id", default="Hopper-v0",
+                        help="victim environment the features are rolled out in")
+    parser.add_argument("--epsilon", type=float, default=None,
+                        help="perturbation budget (default: the env's default budget)")
+    parser.add_argument("--k", type=int, default=5, help="KNN k")
+    parser.add_argument("--measure-iters", type=int, default=None,
+                        help="measured iterations (default 5; 3 with --quick)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_density.json")
+    args = parser.parse_args(argv)
+    args.buffer_size = args.buffer_size or (8_192 if args.quick else 50_000)
+    args.rollout = args.rollout or (512 if args.quick else 2_048)
+    args.measure_iters = args.measure_iters or (3 if args.quick else 5)
+    if args.epsilon is None:
+        args.epsilon = default_epsilon(args.env_id)
+
+    result = run(args)
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    bonus = result["bonus_path"]
+    total = result["per_iteration_total"]
+    print(f"union-buffer size {args.buffer_size}, rollout {args.rollout}, "
+          f"k={args.k}, {args.env_id} features (dim {result['config']['feature_dim']}, "
+          f"eps {args.epsilon})")
+    print(f"bonus path: baseline {bonus['baseline_s_per_iter'] * 1e3:8.2f} ms/iter"
+          f" -> indexed {bonus['indexed_s_per_iter'] * 1e3:8.2f} ms/iter"
+          f"  ({bonus['speedup']:.1f}x)")
+    print(f"total:      baseline {total['baseline_s'] * 1e3:8.2f} ms/iter"
+          f" -> indexed {total['indexed_s'] * 1e3:8.2f} ms/iter"
+          f"  ({total['speedup']:.1f}x)")
+    print(f"bit-identical bonuses: {result['equivalent']}")
+    print(f"wrote {args.output}")
+    if not result["equivalent"]:
+        print("ERROR: indexed bonuses diverged from the baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...density import KnnDensityEstimator, StateBuffer, UnionStateBuffer
+from ...density import IncrementalKnnIndex, StateBuffer, UnionStateBuffer
 from ...nn import no_grad
 from ...rl.health import check_finite
 from ...rl.policy import ActorCritic
@@ -85,8 +85,10 @@ class StateCoverageRegularizer(IntrinsicRegularizer):
     """SC-driven: maximize the entropy of the current state distribution."""
 
     def _bonus(self, features: np.ndarray) -> np.ndarray:
-        estimator = KnnDensityEstimator(features, k=self.config.knn_k)
-        distances = estimator.distance(features, exclude_self=True)
+        # Fresh buffer D changes wholesale every iteration, so this index
+        # is throwaway — the win here is the chunked query path.
+        index = IncrementalKnnIndex.over(features)
+        distances = index.query(features, self.config.knn_k, exclude_self=True)
         return np.log(distances + 1.0)
 
     def compute(self, rollout: AdversaryRollout, policy: ActorCritic) -> np.ndarray:
@@ -103,38 +105,62 @@ class PolicyCoverageRegularizer(IntrinsicRegularizer):
         super().__init__(config, multi_agent)
         self._union_adv = UnionStateBuffer(config.union_buffer_capacity, seed=config.seed)
         self._union_vic = UnionStateBuffer(config.union_buffer_capacity, seed=config.seed + 1)
+        # Amortized KNN indexes mirroring the union buffers, so compute()
+        # never rebuilds the (up to 50k-state) B tree from scratch.
+        self._index_adv = IncrementalKnnIndex()
+        self._index_vic = IncrementalKnnIndex()
 
-    def _bonus(self, features: np.ndarray, union: UnionStateBuffer) -> np.ndarray:
-        fresh = KnnDensityEstimator(features, k=self.config.knn_k)
-        dist_d = fresh.distance(features, exclude_self=True)
-        if len(union) == 0:
+    def _bonus(self, features: np.ndarray, index: IncrementalKnnIndex) -> np.ndarray:
+        fresh = IncrementalKnnIndex.over(features)
+        dist_d = fresh.query(features, self.config.knn_k, exclude_self=True)
+        if len(index) == 0:
             dist_b = np.ones_like(dist_d)
         else:
-            historical = KnnDensityEstimator(union.states, k=self.config.knn_k)
-            dist_b = historical.distance(features)
+            dist_b = index.query(features, self.config.knn_k)
         return np.sqrt(dist_d * dist_b)
 
     def compute(self, rollout: AdversaryRollout, policy: ActorCritic) -> np.ndarray:
-        adversary = self._bonus(rollout.knn_adversary, self._union_adv)
+        adversary = self._bonus(rollout.knn_adversary, self._index_adv)
         if not self.multi_agent:
             bonus = adversary
         else:
-            bonus = self._mix(adversary, self._bonus(rollout.knn_victim, self._union_vic))
+            bonus = self._mix(adversary, self._bonus(rollout.knn_victim, self._index_vic))
         return self._checked(bonus)
+
+    @staticmethod
+    def _sync(union: UnionStateBuffer, index: IncrementalKnnIndex,
+              states: np.ndarray) -> None:
+        delta = union.extend(states)
+        if delta.append_only:
+            index.add(delta.appended)
+        else:
+            # Reservoir replacement overwrote indexed rows; the index
+            # contract is exact, so mirror the buffer wholesale.
+            index.reset(union.states)
 
     def after_update(self, rollout: AdversaryRollout, policy: ActorCritic) -> None:
         # Algorithm 1: B = B ∪ D after the optimizing stage.
-        self._union_adv.extend(rollout.knn_adversary)
+        self._sync(self._union_adv, self._index_adv, rollout.knn_adversary)
         if self.multi_agent:
-            self._union_vic.extend(rollout.knn_victim)
+            self._sync(self._union_vic, self._index_vic, rollout.knn_victim)
 
     def state_dict(self) -> dict:
         return {"union_adv": self._union_adv.state_dict(),
-                "union_vic": self._union_vic.state_dict()}
+                "union_vic": self._union_vic.state_dict(),
+                "index_adv": self._index_adv.state_dict(),
+                "index_vic": self._index_vic.state_dict()}
 
     def load_state_dict(self, state: dict) -> None:
         self._union_adv.load_state_dict(state["union_adv"])
         self._union_vic.load_state_dict(state["union_vic"])
+        for key, union, attr in (("index_adv", self._union_adv, "_index_adv"),
+                                 ("index_vic", self._union_vic, "_index_vic")):
+            index = IncrementalKnnIndex()
+            if state.get(key) is not None:
+                index.load_state_dict(state[key])
+            elif len(union):
+                index.reset(union.states)  # pre-index checkpoint: rebuild
+            setattr(self, attr, index)
 
 
 class RiskRegularizer(IntrinsicRegularizer):
@@ -150,6 +176,11 @@ class RiskRegularizer(IntrinsicRegularizer):
         self.target = None if target is None else np.asarray(target, dtype=np.float64)
 
     def compute(self, rollout: AdversaryRollout, policy: ActorCritic) -> np.ndarray:
+        if len(rollout) == 0:
+            # Zero-episode rollout (same guard family as the PR-4
+            # empty-rollout fixes): no states to score, and no first
+            # victim state to capture a lazy target from.
+            return np.zeros(0)
         if self.target is None:
             self.target = rollout.knn_victim[0].copy()
         return self._checked(-np.linalg.norm(rollout.knn_victim - self.target, axis=1))

@@ -48,7 +48,9 @@ def record_rollout_telemetry(telemetry, rollout: AdversaryRollout,
                                if rollout.episode_victim_rewards else 0.0),
     }, perf={
         "seconds": seconds,
-        "steps_per_s": n / seconds if seconds > 0 else float("inf"),
+        # None, not inf: an injected zero-elapsed clock would otherwise
+        # put "Infinity" in JSONL lines, which RFC 8259 forbids.
+        "steps_per_s": n / seconds if seconds > 0 else None,
         "collector": collector,
     })
 
@@ -86,7 +88,8 @@ def collect_adversary_rollout(env: Env, policy: ActorCritic, n_steps: int,
         index = buffer.ptr - 1
         if done:
             if not terminated:
-                _, _, be, bi, _ = policy.act(next_obs, rng)
+                _, _, be, bi, _ = policy.act(next_obs, rng,
+                                             update_normalizer=update_normalizer)
                 buffer.set_bootstrap(index, be, bi)
             episode_rewards.append(ep_reward)
             episode_victim_rewards.append(ep_victim)
@@ -96,7 +99,8 @@ def collect_adversary_rollout(env: Env, policy: ActorCritic, n_steps: int,
         else:
             obs = next_obs
             if buffer.full:
-                _, _, be, bi, _ = policy.act(obs, rng)
+                _, _, be, bi, _ = policy.act(obs, rng,
+                                             update_normalizer=update_normalizer)
                 buffer.set_bootstrap(index, be, bi)
 
     n = buffer.ptr

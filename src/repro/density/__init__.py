@@ -1,8 +1,11 @@
-"""State-density estimation: KNN estimators and the D/B replay buffers."""
+"""State-density estimation: KNN estimators, the D/B replay buffers,
+and the amortized incremental density index."""
 
-from .buffers import StateBuffer, UnionStateBuffer
+from .buffers import ExtendDelta, StateBuffer, UnionStateBuffer
+from .index import IncrementalKnnIndex
 from .knn import KnnDensityEstimator, knn_distances
 from .parzen import ParzenDensityEstimator
 
-__all__ = ["StateBuffer", "UnionStateBuffer", "KnnDensityEstimator",
+__all__ = ["StateBuffer", "UnionStateBuffer", "ExtendDelta",
+           "IncrementalKnnIndex", "KnnDensityEstimator",
            "ParzenDensityEstimator", "knn_distances"]

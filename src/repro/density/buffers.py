@@ -9,9 +9,31 @@ sample of the historical mixture.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["StateBuffer", "UnionStateBuffer"]
+__all__ = ["StateBuffer", "UnionStateBuffer", "ExtendDelta"]
+
+
+@dataclass
+class ExtendDelta:
+    """What one :meth:`UnionStateBuffer.extend` call did to the contents.
+
+    Density-index consumers use this to keep an incremental KNN index in
+    sync without re-reading the whole buffer: an append-only extend maps
+    to ``index.add(delta.appended)``, while any reservoir replacement
+    (``mutated=True``) forces a full ``index.reset(buffer.states)``.
+    Rows that overflowed but were *dropped* by the reservoir leave the
+    contents untouched and do not set ``mutated``.
+    """
+
+    appended: np.ndarray   # rows written to fresh slots, in insertion order
+    mutated: bool          # True when an existing row was overwritten
+
+    @property
+    def append_only(self) -> bool:
+        return not self.mutated
 
 
 class StateBuffer:
@@ -46,12 +68,14 @@ class UnionStateBuffer:
         self._fill = 0
         self._seen = 0
 
-    def extend(self, states: np.ndarray) -> None:
+    def extend(self, states: np.ndarray) -> ExtendDelta:
         states = np.atleast_2d(np.asarray(states, dtype=np.float64))
         if states.size == 0:
-            return
+            return ExtendDelta(appended=states.copy(), mutated=False)
         if self._storage is None:
             self._storage = np.zeros((self.capacity, states.shape[1]))
+        start = self._fill
+        mutated = False
         for row in states:
             self._seen += 1
             if self._fill < self.capacity:
@@ -61,6 +85,9 @@ class UnionStateBuffer:
                 j = int(self._rng.integers(self._seen))
                 if j < self.capacity:
                     self._storage[j] = row
+                    mutated = True
+        return ExtendDelta(appended=self._storage[start:self._fill].copy(),
+                           mutated=mutated)
 
     @property
     def states(self) -> np.ndarray:

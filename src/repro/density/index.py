@@ -1,0 +1,283 @@
+"""Incremental KNN density index: amortized cKDTree maintenance.
+
+The IMAP regularizers (Section 5.2) query k-th-neighbour distances
+against two reference sets every iteration: the fresh buffer ``D`` and
+the union buffer ``B`` (up to ``union_buffer_capacity`` states).  The
+original estimator rebuilt a :class:`~scipy.spatial.cKDTree` over the
+*entire* reference set on every call — an O(n log n) rebuild per
+iteration dominated by ``B`` — even though ``B`` only ever grows by one
+rollout of states between queries.
+
+:class:`IncrementalKnnIndex` amortizes that maintenance:
+
+* Inserted points land in a small **pending buffer**; the main tree is
+  rebuilt over the full set only when the pending size exceeds
+  ``rebuild_fraction`` of the indexed set, so rebuilds follow a
+  geometric schedule and their amortized cost per insert is O(log n).
+* Queries consult the main tree and scan the pending buffer, then merge
+  the two candidate lists.  The pending scan runs through a throwaway
+  ``cKDTree`` over the pending block (rebuilt per insert batch) rather
+  than a NumPy brute-force loop: scipy's distance kernel and vectorized
+  NumPy reductions disagree in the last ulp for dim >= 8, and the index
+  promises **bit-identical** results to the from-scratch estimator.
+* Queries are chunked (``query_chunk`` rows at a time) so a 50k-point
+  query against a 50k-point set never materializes a quadratic
+  distance matrix.
+* The main tree is built over a **spatially pre-ordered** copy of the
+  points: each build composes the previous tree's leaf permutation, so
+  tree leaves index into near-contiguous memory and queries stop
+  cache-missing across a reservoir-shuffled buffer.  Queries are
+  likewise sorted along their widest axis before the tree walk and the
+  results unsorted afterwards.  Both are pure layout changes — the
+  point *set* and every pairwise distance are untouched, so results
+  stay bit-identical (the equivalence property test covers them).
+
+Exact-equivalence contract (property-tested in
+``tests/test_density_index.py``): for any interleaving of ``add`` /
+``reset`` / ``query`` calls, ``query(q, k, exclude_self)`` returns
+bit-identical distances to
+``KnnDensityEstimator(all_points, k).distance(q, exclude_self)``.
+This holds because a cKDTree reports the same float64 distance for a
+given (query, point) pair regardless of tree shape, so merging the
+k smallest candidates from two partitions of the reference set yields
+exactly the k smallest distances over their union.
+
+Small-buffer semantics match :mod:`repro.density.knn` after the
+PR-5 fix: ``exclude_self`` on a singleton reference set returns the
+neutral distance 1.0 (the only neighbour is the query itself), and
+with fewer than ``k`` non-self neighbours the distance clamps to the
+farthest non-self neighbour.
+
+Telemetry: ``density.index.rebuilds``, ``density.index.pending_hits``
+and ``density.index.query_chunks`` counters are threaded through the
+ambient :func:`~repro.telemetry.current_telemetry` registry whenever
+one is installed; the same counts are kept locally (and checkpointed)
+so resumed runs report identical totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..telemetry import current_telemetry
+from .knn import _MIN_DISTANCE
+
+__all__ = ["IncrementalKnnIndex"]
+
+
+def _inc(name: str, amount: int = 1) -> None:
+    telemetry = current_telemetry()
+    if telemetry is not None:
+        telemetry.metrics.counter(f"density.index.{name}").inc(amount)
+
+
+class IncrementalKnnIndex:
+    """Amortized-rebuild KNN index over a growing point set."""
+
+    def __init__(self, rebuild_fraction: float = 0.1, query_chunk: int = 4096):
+        if rebuild_fraction <= 0.0:
+            raise ValueError(f"rebuild_fraction must be positive, got {rebuild_fraction}")
+        if query_chunk < 1:
+            raise ValueError(f"query_chunk must be >= 1, got {query_chunk}")
+        self.rebuild_fraction = rebuild_fraction
+        self.query_chunk = query_chunk
+        self._indexed: np.ndarray | None = None
+        self._tree: cKDTree | None = None
+        self._pending: list[np.ndarray] = []
+        self._n_pending = 0
+        self._pending_tree: cKDTree | None = None
+        # maps caller row order -> spatial (leaf) order of the last build;
+        # reused to pre-order the next build's input for cache locality
+        self._spatial_perm: np.ndarray | None = None
+        self.rebuilds = 0
+        self.pending_hits = 0
+        self.query_chunks = 0
+
+    @classmethod
+    def over(cls, points: np.ndarray, query_chunk: int = 4096) -> "IncrementalKnnIndex":
+        """A fully indexed (no pending) throwaway index over ``points``."""
+        index = cls(query_chunk=query_chunk)
+        index.reset(points)
+        return index
+
+    # -------------------------------------------------------------- contents
+
+    @property
+    def n_indexed(self) -> int:
+        return 0 if self._indexed is None else len(self._indexed)
+
+    @property
+    def n_pending(self) -> int:
+        return self._n_pending
+
+    def __len__(self) -> int:
+        return self.n_indexed + self._n_pending
+
+    @property
+    def points(self) -> np.ndarray:
+        """Every point the index covers (indexed first, then pending)."""
+        blocks = ([] if self._indexed is None else [self._indexed]) + self._pending
+        if not blocks:
+            return np.zeros((0, 0))
+        return np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
+
+    # --------------------------------------------------------------- updates
+
+    def add(self, points: np.ndarray) -> None:
+        """Insert points; rebuilds the main tree only past the threshold."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.size == 0:
+            return
+        self._pending.append(points.copy())
+        self._n_pending += len(points)
+        self._pending_tree = None
+        if self._tree is None or self._n_pending > self.rebuild_fraction * self.n_indexed:
+            self._rebuild()
+
+    def reset(self, points: np.ndarray) -> None:
+        """Replace the whole contents (reservoir overwrote indexed rows)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self._pending = []
+        self._n_pending = 0
+        self._pending_tree = None
+        if points.size == 0:
+            self._indexed = None
+            self._tree = None
+            return
+        # Pre-order by the previous build's leaf permutation: under
+        # reservoir replacement most rows persist between resets, so the
+        # stale permutation still clusters neighbouring points into
+        # contiguous memory (the gather doubles as the defensive copy).
+        perm = self._spatial_perm
+        if perm is not None and len(perm) == len(points):
+            pts = points[perm]
+        else:
+            perm = None
+            pts = points.copy()
+        self._finish_build(pts, perm)
+
+    def _rebuild(self) -> None:
+        blocks = ([] if self._indexed is None else [self._indexed]) + self._pending
+        points = np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
+        self._pending = []
+        self._n_pending = 0
+        self._pending_tree = None
+        # the indexed prefix already sits in the previous build's leaf
+        # order and the pending tail is trajectory-coherent: build directly
+        self._finish_build(points, None)
+
+    def _finish_build(self, pts: np.ndarray, perm: np.ndarray | None) -> None:
+        """Install ``pts`` (an owned array) as the main tree's backing and
+        record the composed caller-order -> leaf-order permutation."""
+        self._indexed = pts
+        self._tree = cKDTree(pts)
+        leaf = np.asarray(self._tree.indices)
+        self._spatial_perm = perm[leaf] if perm is not None else leaf.copy()
+        self.rebuilds += 1
+        _inc("rebuilds")
+
+    # --------------------------------------------------------------- queries
+
+    def query(self, queries: np.ndarray, k: int, exclude_self: bool = False) -> np.ndarray:
+        """Distance from each query to its k-th nearest indexed point.
+
+        Bit-identical to ``KnnDensityEstimator(self.points, k)
+        .distance(queries, exclude_self)`` — see the module docstring
+        for the contract and the small-buffer semantics.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        total = len(self)
+        if total == 0 or (exclude_self and total == 1):
+            return np.full(len(queries), 1.0)
+        kth = min(k + 1, total) if exclude_self else min(k, total)
+        if self._n_pending:
+            self.pending_hits += len(queries)
+            _inc("pending_hits", len(queries))
+        # Walk the tree in spatial order: sorting the queries along their
+        # widest axis keeps consecutive tree descents on the same cache
+        # lines.  Per-query results are permuted back below, so the output
+        # is bit-identical to querying in caller order.
+        order = None
+        if len(queries) > 1 and queries.shape[1] > 0:
+            axis = int(np.argmax(np.ptp(queries, axis=0)))
+            order = np.argsort(queries[:, axis], kind="stable")
+            queries = queries[order]
+        out = np.empty(len(queries))
+        n_chunks = 0
+        for start in range(0, len(queries), self.query_chunk):
+            block = queries[start:start + self.query_chunk]
+            out[start:start + len(block)] = self._query_block(block, kth)
+            n_chunks += 1
+        self.query_chunks += n_chunks
+        _inc("query_chunks", n_chunks)
+        if order is not None:
+            unsorted = np.empty_like(out)
+            unsorted[order] = out
+            out = unsorted
+        return np.maximum(out, _MIN_DISTANCE)
+
+    def _query_block(self, block: np.ndarray, kth: int) -> np.ndarray:
+        candidates = []
+        if self._tree is not None:
+            candidates.append(self._tree_distances(self._tree, block,
+                                                   min(kth, self.n_indexed)))
+        if self._n_pending:
+            if self._pending_tree is None:
+                pending = (self._pending[0] if len(self._pending) == 1
+                           else np.concatenate(self._pending))
+                self._pending = [pending]
+                self._pending_tree = cKDTree(pending)
+            candidates.append(self._tree_distances(self._pending_tree, block,
+                                                   min(kth, self._n_pending)))
+        if len(candidates) == 1:
+            return candidates[0][:, kth - 1]
+        merged = np.sort(np.concatenate(candidates, axis=1), axis=1)
+        return merged[:, kth - 1]
+
+    @staticmethod
+    def _tree_distances(tree: cKDTree, block: np.ndarray, k: int) -> np.ndarray:
+        dists, _ = tree.query(block, k=k)
+        if dists.ndim == 1:
+            dists = dists[:, None]
+        return dists
+
+    # ------------------------------------------------------------ checkpoint
+
+    def state_dict(self) -> dict:
+        """Resumable snapshot preserving the indexed/pending partition, so
+        a resumed run reproduces the uninterrupted run's rebuild schedule
+        and telemetry counters exactly."""
+        pending = (None if not self._pending
+                   else (self._pending[0] if len(self._pending) == 1
+                         else np.concatenate(self._pending)))
+        return {
+            "rebuild_fraction": self.rebuild_fraction,
+            "indexed": None if self._indexed is None else self._indexed.copy(),
+            "pending": None if pending is None else pending.copy(),
+            "spatial_perm": (None if self._spatial_perm is None
+                             else self._spatial_perm.copy()),
+            "rebuilds": self.rebuilds,
+            "pending_hits": self.pending_hits,
+            "query_chunks": self.query_chunks,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rebuild_fraction = float(state["rebuild_fraction"])
+        indexed = state["indexed"]
+        self._indexed = None if indexed is None else np.asarray(indexed, dtype=np.float64).copy()
+        self._tree = None if self._indexed is None else cKDTree(self._indexed)
+        pending = state["pending"]
+        if pending is None:
+            self._pending = []
+            self._n_pending = 0
+        else:
+            pending = np.asarray(pending, dtype=np.float64).copy()
+            self._pending = [pending]
+            self._n_pending = len(pending)
+        self._pending_tree = None
+        perm = state.get("spatial_perm")
+        self._spatial_perm = None if perm is None else np.asarray(perm).copy()
+        self.rebuilds = int(state["rebuilds"])
+        self.pending_hits = int(state["pending_hits"])
+        self.query_chunks = int(state["query_chunks"])

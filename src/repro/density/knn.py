@@ -21,11 +21,17 @@ def knn_distances(queries: np.ndarray, references: np.ndarray, k: int = 5,
     """Distance from each query to its k-th nearest reference point.
 
     ``exclude_self=True`` skips the zero-distance match that appears when
-    the queries are themselves contained in ``references``.
+    the queries are themselves contained in ``references``.  On reference
+    sets smaller than ``k + 1`` the distance clamps to the farthest
+    non-self neighbour; a singleton set (whose only neighbour is the
+    query itself) returns the neutral distance 1.0 — matching the
+    empty-set convention — instead of the clipped zero self-distance,
+    which would otherwise explode into a ~1e8 density bonus on tiny
+    early-iteration buffers.
     """
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     references = np.atleast_2d(np.asarray(references, dtype=np.float64))
-    if len(references) == 0:
+    if len(references) == 0 or (exclude_self and len(references) == 1):
         return np.full(len(queries), 1.0)
     kth = k + 1 if exclude_self else k
     kth = min(kth, len(references))
@@ -46,7 +52,9 @@ class KnnDensityEstimator:
         self._tree = cKDTree(self.references) if len(self.references) else None
 
     def distance(self, queries: np.ndarray, exclude_self: bool = False) -> np.ndarray:
-        if self._tree is None:
+        if self._tree is None or (exclude_self and len(self.references) == 1):
+            # empty set, or a singleton whose only neighbour is the query
+            # itself: neutral distance (see knn_distances)
             return np.full(len(np.atleast_2d(queries)), 1.0)
         kth = min(self.k + (1 if exclude_self else 0), len(self.references))
         dists, _ = self._tree.query(np.atleast_2d(queries), k=kth)

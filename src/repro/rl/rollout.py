@@ -85,7 +85,8 @@ def collect_rollout(env: Env, policy: ActorCritic, buffer: RolloutBuffer,
         index = buffer.ptr - 1
         if done:
             if not terminated:  # truncation: bootstrap with V(s_next)
-                _, _, be, bi, _ = policy.act(next_obs, rng)
+                _, _, be, bi, _ = policy.act(next_obs, rng,
+                                             update_normalizer=update_normalizer)
                 buffer.set_bootstrap(index, be, bi)
             stats.add(ep_return, ep_length, ep_success)
             obs = env.reset()
@@ -93,7 +94,8 @@ def collect_rollout(env: Env, policy: ActorCritic, buffer: RolloutBuffer,
         else:
             obs = next_obs
             if buffer.full:  # buffer ends mid-episode: bootstrap
-                _, _, be, bi, _ = policy.act(obs, rng)
+                _, _, be, bi, _ = policy.act(obs, rng,
+                                             update_normalizer=update_normalizer)
                 buffer.set_bootstrap(index, be, bi)
     return stats
 

@@ -135,8 +135,9 @@ def train_ppo(env: Env, config: TrainConfig | None = None,
             telemetry.event("ppo.iteration", payload=record, perf={
                 "rollout_s": rollout_s,
                 "update_s": telemetry.metrics.ewma("ppo.update").ewma,
+                # None, not inf: "Infinity" is not valid RFC 8259 JSON
                 "steps_per_s": (config.steps_per_iteration / rollout_s
-                                if rollout_s > 0 else float("inf")),
+                                if rollout_s > 0 else None),
             })
         if config.log_every and iteration % config.log_every == 0:
             print(

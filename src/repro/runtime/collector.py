@@ -92,7 +92,8 @@ def collect_adversary_rollout_vec(vec_env: VectorEnv, policy: ActorCritic,
         trunc_lanes = [i for i in range(n_envs) if truncated[i] and not terminated[i]]
         if trunc_lanes:
             final_obs = np.stack([infos[i]["final_obs"] for i in trunc_lanes])
-            _, _, boot_e, boot_i, _ = policy.act_batch(final_obs, rng)
+            _, _, boot_e, boot_i, _ = policy.act_batch(
+                final_obs, rng, update_normalizer=update_normalizer)
             for j, i in enumerate(trunc_lanes):
                 lanes[i].buffer.set_bootstrap(lanes[i].buffer.ptr - 1,
                                               boot_e[j], boot_i[j])
@@ -103,7 +104,8 @@ def collect_adversary_rollout_vec(vec_env: VectorEnv, policy: ActorCritic,
     open_lanes = [i for i in range(n_envs)
                   if lanes[i].buffer.dones[steps_per_lane - 1] < 0.5]
     if open_lanes:
-        _, _, boot_e, boot_i, _ = policy.act_batch(obs[open_lanes], rng)
+        _, _, boot_e, boot_i, _ = policy.act_batch(
+            obs[open_lanes], rng, update_normalizer=update_normalizer)
         for j, i in enumerate(open_lanes):
             lanes[i].buffer.set_bootstrap(steps_per_lane - 1, boot_e[j], boot_i[j])
 

@@ -49,6 +49,69 @@ class TestCollectRollout:
         assert -1.0 <= rollout.j_ap <= 0.0
         assert 0.0 <= rollout.victim_success_rate <= 1.0
 
+    def test_frozen_collection_leaves_normalizer_untouched(self, adv_env, rng):
+        """update_normalizer=False must also cover the bootstrap-value
+        forwards (episode truncation / buffer end), which used to fall
+        back to policy.act's own default and ignore the caller's flag."""
+        policy = ActorCritic(11, 11, hidden_sizes=(8,), rng=rng)
+        # give the normalizer non-trivial stats first, then freeze-collect
+        adv_env.seed(0)
+        collect_adversary_rollout(adv_env, policy, 64, rng, update_normalizer=True)
+        before = policy.normalizer.rms.state()
+        adv_env.seed(1)
+        rollout = collect_adversary_rollout(adv_env, policy, 200, rng,
+                                            update_normalizer=False)
+        assert rollout.dones.sum() > 0  # bootstrap forwards actually ran
+        after = policy.normalizer.rms.state()
+        for key in before:
+            np.testing.assert_array_equal(after[key], before[key], err_msg=key)
+
+    def test_bootstrap_forwards_update_normalizer_when_enabled(self, adv_env, rng):
+        """With update_normalizer=True every observation the policy sees —
+        bootstrap obs included — feeds the running statistics, so the
+        count grows by more than the step count whenever episodes end."""
+        policy = ActorCritic(11, 11, hidden_sizes=(8,), rng=rng)
+        adv_env.seed(0)
+        count_before = policy.normalizer.rms.count
+        rollout = collect_adversary_rollout(adv_env, policy, 200, rng,
+                                            update_normalizer=True)
+        observed = policy.normalizer.rms.count - count_before
+        assert rollout.dones.sum() > 0
+        assert observed > len(rollout)
+
+
+class TestRolloutTelemetry:
+    def test_zero_elapsed_clock_yields_rfc8259_jsonl(self, adv_env, rng, tmp_path):
+        """A frozen injected clock used to put steps_per_s: Infinity in
+        the JSONL stream — not valid RFC 8259 JSON.  It must be null."""
+        import json
+
+        from repro.telemetry import JsonlEventSink, ManualClock, Telemetry
+
+        path = tmp_path / "events.jsonl"
+        telemetry = Telemetry(sink=JsonlEventSink(path, buffer_size=1),
+                              clock=ManualClock(0.0, auto_tick=0.0))
+        policy = ActorCritic(11, 11, hidden_sizes=(8,), rng=rng)
+        adv_env.seed(0)
+        collect_adversary_rollout(adv_env, policy, 32, rng, telemetry=telemetry)
+        telemetry.sink.close()
+        lines = path.read_text().strip().splitlines()
+        events = [json.loads(line, parse_constant=pytest.fail) for line in lines]
+        complete = [e for e in events if e["type"] == "rollout.complete"]
+        assert complete and complete[0]["perf"]["steps_per_s"] is None
+        assert complete[0]["perf"]["seconds"] == 0.0
+
+    def test_positive_elapsed_clock_reports_rate(self, adv_env, rng):
+        from repro.telemetry import ManualClock, Telemetry
+
+        telemetry = Telemetry.in_memory(clock=ManualClock(0.0, auto_tick=0.5))
+        policy = ActorCritic(11, 11, hidden_sizes=(8,), rng=rng)
+        adv_env.seed(0)
+        collect_adversary_rollout(adv_env, policy, 32, rng, telemetry=telemetry)
+        perf = [e for e in telemetry.sink.events
+                if e["type"] == "rollout.complete"][0]["perf"]
+        assert perf["steps_per_s"] == pytest.approx(32 / perf["seconds"])
+
 
 class TestTrainerLoop:
     def test_sarl_history_fields(self, adv_env):

@@ -50,6 +50,21 @@ class TestKnnDistances:
         out = knn_distances(np.zeros((2, 2)), refs, k=2)
         assert (out > 0).all()
 
+    def test_exclude_self_singleton_is_neutral(self):
+        """A singleton reference set has no non-self neighbour: the
+        distance must be the neutral 1.0, not the clipped zero
+        self-distance (which inverted into a ~1e8 density bonus)."""
+        point = np.array([[3.0, -1.0]])
+        np.testing.assert_array_equal(
+            knn_distances(point, point, k=5, exclude_self=True), np.ones(1))
+
+    def test_exclude_self_small_set_clamps_to_farthest_non_self(self, rng):
+        refs = rng.standard_normal((4, 3))  # fewer than k+1 references
+        out = knn_distances(refs, refs, k=5, exclude_self=True)
+        expected = brute_kth_distance(refs, refs, 5, exclude_self=True)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+        assert (out > 1e-6).all()
+
 
 class TestKnnDensityEstimator:
     def test_density_higher_in_cluster(self, rng):
@@ -71,6 +86,13 @@ class TestKnnDensityEstimator:
     def test_empty_estimator(self):
         est = KnnDensityEstimator(np.zeros((0, 2)), k=3)
         np.testing.assert_array_equal(est.distance(np.zeros((3, 2))), np.ones(3))
+
+    def test_singleton_exclude_self_is_neutral(self):
+        est = KnnDensityEstimator(np.ones((1, 2)), k=3)
+        np.testing.assert_array_equal(
+            est.distance(np.ones((1, 2)), exclude_self=True), np.ones(1))
+        np.testing.assert_array_equal(
+            est.density(np.ones((1, 2)), exclude_self=True), np.ones(1))
 
 
 class TestStateBuffer:

@@ -1,0 +1,194 @@
+"""Incremental KNN density index: exact-equivalence contract, amortized
+rebuild schedule, buffer-delta syncing, checkpoint state, and telemetry.
+
+The load-bearing test is the hypothesis property: across random
+insert/query interleavings — including the pending-buffer -> rebuild
+boundary — the index returns **bit-identical** distances to the
+from-scratch :class:`~repro.density.KnnDensityEstimator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.density import IncrementalKnnIndex, KnnDensityEstimator, UnionStateBuffer
+from repro.telemetry import Telemetry, use_telemetry
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    dim=st.integers(1, 12),
+    k=st.integers(1, 6),
+    rebuild_fraction=st.sampled_from([0.05, 0.25, 1.0, 5.0]),
+    query_chunk=st.sampled_from([3, 64, 4096]),
+    batch_sizes=st.lists(st.integers(1, 25), min_size=1, max_size=8),
+)
+def test_property_bit_identical_to_from_scratch_estimator(
+        seed, dim, k, rebuild_fraction, query_chunk, batch_sizes):
+    """index.query == KnnDensityEstimator.distance, bit for bit, after
+    every insert batch (covering fresh, pending-heavy, and just-rebuilt
+    states of the index)."""
+    rng = np.random.default_rng(seed)
+    index = IncrementalKnnIndex(rebuild_fraction=rebuild_fraction,
+                                query_chunk=query_chunk)
+    batches = []
+    for size in batch_sizes:
+        batch = rng.standard_normal((size, dim))
+        index.add(batch)
+        batches.append(batch)
+        points = np.concatenate(batches)
+        estimator = KnnDensityEstimator(points, k=k)
+        queries = rng.standard_normal((11, dim))
+        np.testing.assert_array_equal(index.query(queries, k),
+                                      estimator.distance(queries))
+        np.testing.assert_array_equal(
+            index.query(points, k, exclude_self=True),
+            estimator.distance(points, exclude_self=True))
+
+
+def test_equivalence_across_rebuild_boundary(rng):
+    """Deterministic walk over the pending -> rebuild transition: query
+    with an empty pending buffer, a hot one, and right after the merge."""
+    index = IncrementalKnnIndex(rebuild_fraction=0.5)
+    first = rng.standard_normal((40, 6))
+    index.add(first)                       # first add builds the tree
+    assert index.n_pending == 0
+    batches = [first]
+    pending_states = []
+    for size in (10, 9, 12, 30):           # 10+9 pend, 12 crosses, 30 pends
+        batch = rng.standard_normal((size, 6))
+        index.add(batch)
+        batches.append(batch)
+        pending_states.append(index.n_pending)
+        points = np.concatenate(batches)
+        np.testing.assert_array_equal(
+            index.query(points, 5, exclude_self=True),
+            KnnDensityEstimator(points, k=5).distance(points, exclude_self=True))
+    assert pending_states == [10, 19, 0, 30]
+    assert index.rebuilds == 2
+
+
+class TestIncrementalKnnIndex:
+    def test_empty_index_neutral_distance(self):
+        index = IncrementalKnnIndex()
+        np.testing.assert_array_equal(index.query(np.zeros((4, 3)), 5), np.ones(4))
+
+    def test_singleton_exclude_self_neutral(self):
+        index = IncrementalKnnIndex.over(np.ones((1, 3)))
+        np.testing.assert_array_equal(
+            index.query(np.ones((1, 3)), 5, exclude_self=True), np.ones(1))
+
+    def test_rebuild_schedule_is_amortized(self, rng):
+        index = IncrementalKnnIndex(rebuild_fraction=0.5)
+        for _ in range(64):
+            index.add(rng.standard_normal((8, 4)))
+        # 64 adds but far fewer rebuilds: the schedule is geometric
+        assert index.rebuilds < 16
+        assert len(index) == 64 * 8
+
+    def test_reset_replaces_contents(self, rng):
+        index = IncrementalKnnIndex()
+        index.add(rng.standard_normal((20, 2)))
+        replacement = rng.standard_normal((7, 2))
+        index.reset(replacement)
+        assert len(index) == 7
+        np.testing.assert_array_equal(index.points, replacement)
+
+    def test_reset_to_empty(self, rng):
+        index = IncrementalKnnIndex()
+        index.add(rng.standard_normal((5, 2)))
+        index.reset(np.zeros((0, 2)))
+        assert len(index) == 0
+        np.testing.assert_array_equal(index.query(np.zeros((2, 2)), 3), np.ones(2))
+
+    def test_chunked_query_matches_single_chunk(self, rng):
+        points = rng.standard_normal((100, 5))
+        queries = rng.standard_normal((37, 5))
+        chunked = IncrementalKnnIndex.over(points, query_chunk=5)
+        whole = IncrementalKnnIndex.over(points, query_chunk=4096)
+        np.testing.assert_array_equal(chunked.query(queries, 4), whole.query(queries, 4))
+        assert chunked.query_chunks == 8
+        assert whole.query_chunks == 1
+
+    def test_add_empty_is_noop(self, rng):
+        index = IncrementalKnnIndex()
+        index.add(rng.standard_normal((3, 2)))
+        rebuilds = index.rebuilds
+        index.add(np.zeros((0, 2)))
+        assert len(index) == 3 and index.rebuilds == rebuilds
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            IncrementalKnnIndex(rebuild_fraction=0.0)
+        with pytest.raises(ValueError):
+            IncrementalKnnIndex(query_chunk=0)
+
+    def test_state_dict_roundtrip_preserves_partition_and_results(self, rng):
+        index = IncrementalKnnIndex(rebuild_fraction=2.0)  # keep a pending tail
+        for _ in range(5):
+            index.add(rng.standard_normal((9, 4)))
+        queries = rng.standard_normal((12, 4))
+        index.query(queries, 3)
+        restored = IncrementalKnnIndex()
+        restored.load_state_dict(index.state_dict())
+        assert restored.n_indexed == index.n_indexed
+        assert restored.n_pending == index.n_pending
+        assert restored.rebuilds == index.rebuilds
+        assert restored.pending_hits == index.pending_hits
+        assert restored.query_chunks == index.query_chunks
+        np.testing.assert_array_equal(restored.query(queries, 3),
+                                      index.query(queries, 3))
+
+    def test_telemetry_counters(self, rng):
+        with use_telemetry(Telemetry.in_memory()) as telemetry:
+            index = IncrementalKnnIndex(rebuild_fraction=10.0)
+            index.add(rng.standard_normal((5, 3)))   # first add always builds
+            index.add(rng.standard_normal((5, 3)))   # stays pending
+            assert index.n_pending == 5
+            index.query(rng.standard_normal((7, 3)), 2)
+            counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["density.index.rebuilds"] == index.rebuilds == 1
+        assert counters["density.index.pending_hits"] == index.pending_hits == 7
+        assert counters["density.index.query_chunks"] == index.query_chunks == 1
+
+
+class TestUnionBufferExtendDelta:
+    def test_append_only_reports_rows(self, rng):
+        buf = UnionStateBuffer(capacity=100)
+        states = rng.standard_normal((30, 2))
+        delta = buf.extend(states)
+        assert delta.append_only
+        np.testing.assert_array_equal(delta.appended, states)
+
+    def test_replacement_reports_mutated(self, rng):
+        buf = UnionStateBuffer(capacity=20, seed=0)
+        buf.extend(rng.standard_normal((20, 2)))
+        delta = buf.extend(rng.standard_normal((50, 2)))
+        assert delta.mutated and not delta.append_only
+        assert len(delta.appended) == 0
+
+    def test_empty_extend_delta(self):
+        buf = UnionStateBuffer(capacity=10)
+        delta = buf.extend(np.zeros((0, 3)))
+        assert delta.append_only and delta.appended.size == 0
+
+    def test_index_synced_through_deltas_matches_buffer(self, rng):
+        """Driving an index from extend() deltas keeps it equal to a
+        from-scratch estimator over buffer.states, across the
+        append-only -> reservoir-replacement transition."""
+        buf = UnionStateBuffer(capacity=60, seed=3)
+        index = IncrementalKnnIndex(rebuild_fraction=0.3)
+        for _ in range(10):
+            delta = buf.extend(rng.standard_normal((16, 3)))
+            if delta.append_only:
+                index.add(delta.appended)
+            else:
+                index.reset(buf.states)
+            queries = rng.standard_normal((9, 3))
+            np.testing.assert_array_equal(
+                index.query(queries, 4),
+                KnnDensityEstimator(buf.states, k=4).distance(queries))

@@ -116,6 +116,66 @@ class TestPolicyCoverage:
         bonus = reg.compute(rollout, policy)
         assert bonus[20:].mean() > bonus[:20].mean()
 
+    def test_state_dict_roundtrip_keeps_bonus_bit_identical(self, config, policy, rng):
+        """The union buffers AND their density indexes survive a
+        checkpoint: a restored regularizer computes the same bonuses."""
+        reg = PolicyCoverageRegularizer(config)
+        for _ in range(3):
+            reg.after_update(make_rollout(rng, n=40, feature_dim=3), policy)
+        restored = PolicyCoverageRegularizer(config)
+        restored.load_state_dict(reg.state_dict())
+        probe = make_rollout(rng, n=40, feature_dim=3)
+        np.testing.assert_array_equal(restored.compute(probe, policy),
+                                      reg.compute(probe, policy))
+        assert restored._index_adv.n_indexed == reg._index_adv.n_indexed
+        assert restored._index_adv.n_pending == reg._index_adv.n_pending
+
+    def test_index_tracks_reservoir_replacement(self, policy, rng):
+        """Past union capacity the reservoir overwrites rows; the index
+        must keep matching a from-scratch estimator over the buffer."""
+        from dataclasses import replace
+        from repro.density import KnnDensityEstimator
+
+        small = replace(AttackConfig(knn_k=3, seed=0), union_buffer_capacity=60)
+        reg = PolicyCoverageRegularizer(small)
+        for _ in range(4):  # 4 * 40 states > 60: replacement kicks in
+            reg.after_update(make_rollout(rng, n=40, feature_dim=3), policy)
+        queries = rng.standard_normal((10, 3))
+        np.testing.assert_array_equal(
+            reg._index_adv.query(queries, 3),
+            KnnDensityEstimator(reg._union_adv.states, k=3).distance(queries))
+
+
+class TestTinyBufferRegression:
+    """A 1-state rollout must not produce the pathological ~1e8 bonus
+    that the clipped zero self-distance used to invert into."""
+
+    def test_state_coverage_single_state_rollout(self, config, policy, rng):
+        rollout = make_rollout(rng, n=1, feature_dim=3)
+        bonus = StateCoverageRegularizer(config).compute(rollout, policy)
+        np.testing.assert_allclose(bonus, np.log(np.array([2.0])))
+
+    def test_policy_coverage_single_state_rollout(self, config, policy, rng):
+        reg = PolicyCoverageRegularizer(config)
+        rollout = make_rollout(rng, n=1, feature_dim=3)
+        bonus = reg.compute(rollout, policy)
+        np.testing.assert_allclose(bonus, np.ones(1))  # sqrt(1.0 * 1.0)
+        reg.after_update(rollout, policy)
+        followup = reg.compute(make_rollout(rng, n=1, feature_dim=3), policy)
+        assert np.isfinite(followup).all() and (np.abs(followup) < 1e3).all()
+
+
+def make_empty_rollout(obs_dim=6, action_dim=2, feature_dim=4):
+    zeros = np.zeros(0)
+    return AdversaryRollout(
+        obs=np.zeros((0, obs_dim)), actions=np.zeros((0, action_dim)),
+        log_probs=zeros, rewards=zeros, values_e=zeros, values_i=zeros,
+        dones=zeros, terminated=zeros, bootstrap_e=zeros, bootstrap_i=zeros,
+        knn_victim=np.zeros((0, feature_dim)),
+        knn_adversary=np.zeros((0, feature_dim)),
+        episode_rewards=[], episode_victim_rewards=[], episode_successes=[],
+    )
+
 
 class TestRisk:
     def test_target_captured_lazily(self, config, policy, rng):
@@ -138,6 +198,20 @@ class TestRisk:
         rollout = make_rollout(rng, n=10, feature_dim=3, victim_features=features)
         bonus = reg.compute(rollout, policy)
         assert bonus[:5].mean() > bonus[5:].mean()
+
+    def test_empty_rollout_returns_empty_bonus(self, config, policy):
+        """Used to raise IndexError on rollout.knn_victim[0]."""
+        reg = RiskRegularizer(config)
+        bonus = reg.compute(make_empty_rollout(), policy)
+        assert bonus.shape == (0,)
+        assert reg.target is None  # no state to capture a lazy target from
+
+    def test_empty_rollout_keeps_existing_target(self, config, policy, rng):
+        reg = RiskRegularizer(config, target=np.zeros(4))
+        assert reg.compute(make_empty_rollout(), policy).shape == (0,)
+        np.testing.assert_array_equal(reg.target, np.zeros(4))
+        rollout = make_rollout(rng)  # still works on the next real rollout
+        assert reg.compute(rollout, policy).shape == (len(rollout),)
 
 
 class TestDivergence:
