@@ -1,0 +1,186 @@
+"""Latency/throughput benchmark for the evaluation service (PR 6).
+
+Boots an in-process :class:`~repro.serve.EvalService` over a temporary
+store and measures the three paths a production request can take:
+
+* **cold** — a genuine miss: the request is scheduled, evaluated, and
+  persisted (dominated by victim training + rollout; reported for scale,
+  not optimized here);
+* **warm** — the same request again: dedup answers from the store
+  without touching a worker.  p50/p99 latency and requests/s of this
+  path are the service's headline numbers;
+* **coalesced** — k identical requests in flight at once: the service
+  runs exactly one evaluation and fans the payload out.
+
+Results land in machine-readable ``BENCH_serve.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve import EvalService, ServeConfig
+from repro.store import ArtifactStore
+from repro.telemetry import MemoryEventSink, Telemetry
+
+
+def percentile_ms(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples) * 1e3, q))
+
+
+def base_request(args: argparse.Namespace) -> dict:
+    return {
+        "env_id": args.env_id,
+        "victim": {"iterations": args.victim_iters,
+                   "steps_per_iteration": args.victim_steps},
+        "attack": {"kind": "random"},
+        "eval": {"episodes": args.episodes, "seed": args.seed},
+    }
+
+
+async def bench(args: argparse.Namespace, store_root: str) -> dict:
+    telemetry = Telemetry(sink=MemoryEventSink())
+    store = ArtifactStore(store_root, telemetry=telemetry,
+                          cache_size=args.store_cache)
+    service = EvalService(
+        store, ServeConfig(job_timeout=600.0, max_workers=args.workers),
+        telemetry=telemetry)
+    request = base_request(args)
+
+    # -- cold: one genuine end-to-end computation -------------------------
+    start = time.perf_counter()
+    cold_payload = await service.submit(request)
+    cold_seconds = time.perf_counter() - start
+
+    # -- warm sequential: store-backed dedup latency ----------------------
+    warm_samples = []
+    for _ in range(args.warm_iters):
+        start = time.perf_counter()
+        payload = await service.submit(request)
+        warm_samples.append(time.perf_counter() - start)
+        assert payload["cached"], "warm request missed the cache"
+        assert payload["episode_rewards"] == cold_payload["episode_rewards"]
+
+    # -- warm concurrent: requests/s under fan-in -------------------------
+    start = time.perf_counter()
+    for _ in range(args.warm_batches):
+        await asyncio.gather(*[service.submit(request)
+                               for _ in range(args.warm_concurrency)])
+    concurrent_seconds = time.perf_counter() - start
+    total_concurrent = args.warm_batches * args.warm_concurrency
+
+    # -- coalesced: k identical in-flight misses, one evaluation ----------
+    eviction_key = cold_payload["key"]
+    store.remove(eviction_key)
+    before = service.metrics.counter("serve.computed").value
+    start = time.perf_counter()
+    fanned = await asyncio.gather(*[service.submit(request)
+                                    for _ in range(args.coalesce_k)])
+    coalesce_seconds = time.perf_counter() - start
+    computed = service.metrics.counter("serve.computed").value - before
+    coalesced = sum(1 for p in fanned if p["coalesced"])
+    assert computed == 1, f"coalescing ran {computed} evaluations for one key"
+    assert all(p["episode_rewards"] == cold_payload["episode_rewards"]
+               for p in fanned), "coalesced payloads diverged"
+
+    counters = service.stats()["counters"]
+    requests = counters.get("serve.requests", 0.0)
+    hits = counters.get("serve.cache_hits", 0.0)
+    return {
+        "benchmark": "serve_request_paths",
+        "config": {
+            "env_id": args.env_id, "episodes": args.episodes,
+            "victim_iters": args.victim_iters,
+            "victim_steps": args.victim_steps,
+            "warm_iters": args.warm_iters,
+            "warm_concurrency": args.warm_concurrency,
+            "warm_batches": args.warm_batches,
+            "coalesce_k": args.coalesce_k,
+            "store_cache": args.store_cache, "seed": args.seed,
+            "quick": args.quick,
+        },
+        "cold": {"seconds": cold_seconds},
+        "warm": {
+            "p50_ms": percentile_ms(warm_samples, 50),
+            "p99_ms": percentile_ms(warm_samples, 99),
+            "mean_ms": float(np.mean(warm_samples) * 1e3),
+            "requests_per_s": total_concurrent / concurrent_seconds,
+        },
+        "coalesce": {
+            "k": args.coalesce_k,
+            "evaluations": int(computed),
+            "coalesced": int(coalesced),
+            "seconds": coalesce_seconds,
+        },
+        "cache_hit_rate": hits / requests if requests else 0.0,
+        "counters": {k: v for k, v in sorted(counters.items())},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-scale smoke run (tiny budgets, fewer iters)")
+    parser.add_argument("--env-id", default="Hopper-v0")
+    parser.add_argument("--episodes", type=int, default=None,
+                        help="episodes per evaluation (default 8; 3 with --quick)")
+    parser.add_argument("--victim-iters", type=int, default=None,
+                        help="victim training iterations (default 4; 1 with --quick)")
+    parser.add_argument("--victim-steps", type=int, default=None,
+                        help="victim steps/iteration (default 512; 64 with --quick)")
+    parser.add_argument("--warm-iters", type=int, default=None,
+                        help="sequential warm requests (default 200; 50 with --quick)")
+    parser.add_argument("--warm-concurrency", type=int, default=16)
+    parser.add_argument("--warm-batches", type=int, default=None,
+                        help="concurrent warm rounds (default 10; 3 with --quick)")
+    parser.add_argument("--coalesce-k", type=int, default=8,
+                        help="identical in-flight requests to coalesce")
+    parser.add_argument("--store-cache", type=int, default=32,
+                        help="store LRU size (0 measures the disk path)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json")
+    args = parser.parse_args(argv)
+    args.episodes = args.episodes or (3 if args.quick else 8)
+    args.victim_iters = args.victim_iters or (1 if args.quick else 4)
+    args.victim_steps = args.victim_steps or (64 if args.quick else 512)
+    args.warm_iters = args.warm_iters or (50 if args.quick else 200)
+    args.warm_batches = args.warm_batches or (3 if args.quick else 10)
+
+    with tempfile.TemporaryDirectory() as store_root:
+        result = asyncio.run(bench(args, store_root))
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    warm = result["warm"]
+    print(f"{args.env_id}: {args.episodes} episodes/eval, victim "
+          f"{args.victim_iters}x{args.victim_steps}")
+    print(f"cold:      {result['cold']['seconds'] * 1e3:9.1f} ms (train + evaluate + persist)")
+    print(f"warm:      p50 {warm['p50_ms']:7.2f} ms   p99 {warm['p99_ms']:7.2f} ms   "
+          f"{warm['requests_per_s']:8.1f} req/s")
+    print(f"coalesce:  {result['coalesce']['k']} in-flight -> "
+          f"{result['coalesce']['evaluations']} evaluation "
+          f"({result['coalesce']['coalesced']} coalesced) in "
+          f"{result['coalesce']['seconds'] * 1e3:.1f} ms")
+    print(f"cache hit rate: {result['cache_hit_rate']:.3f}")
+    print(f"wrote {args.output}")
+    if warm["p50_ms"] >= 50.0:
+        print(f"ERROR: warm p50 {warm['p50_ms']:.2f} ms breaches the 50 ms budget")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

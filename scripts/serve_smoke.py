@@ -1,0 +1,98 @@
+"""CI smoke driver for `python -m repro.serve`.
+
+Connects to a running server and drives the canonical request mix:
+a cold miss (scheduled, computed, persisted), a warm hit (answered from
+the store), k coalesced duplicates (one evaluation fans out), and an
+injected-fault request (classified through the supervisor's
+``error_kind`` taxonomy).  Exits nonzero if any leg misbehaves, then
+asks the server to shut down.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py --socket /tmp/serve.sock
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve import ServeClient, ServeError
+
+REQUEST = {
+    "env_id": "Hopper-v0",
+    "victim": {"iterations": 1, "steps_per_iteration": 64},
+    "attack": {"kind": "random"},
+    "eval": {"episodes": 2, "seed": 3},
+}
+
+
+async def drive(args: argparse.Namespace) -> int:
+    client = await ServeClient.connect(args.socket)
+    try:
+        assert (await client.ping())["event"] == "pong", "server unreachable"
+
+        events: list[str] = []
+        cold = await client.evaluate(
+            REQUEST, on_event=lambda e: events.append(e["event"]))
+        assert not cold["cached"], "cold request must not be a cache hit"
+        assert events[0] == "queued" and "scheduled" in events, events
+        print(f"cold miss:  scheduled + computed "
+              f"(mean reward {cold['mean_reward']:.1f})")
+
+        warm = await client.evaluate(REQUEST)
+        assert warm["cached"], "identical warm request must hit the store"
+        assert warm["episode_rewards"] == cold["episode_rewards"], \
+            "warm payload diverged from cold"
+        print("warm hit:   answered from the store, payload identical")
+
+        fresh = dict(REQUEST, eval={"episodes": 2, "seed": 77})
+        fanned = await asyncio.gather(
+            *[client.evaluate(fresh) for _ in range(args.coalesce_k)])
+        n_coalesced = sum(1 for p in fanned if p["coalesced"])
+        assert n_coalesced == args.coalesce_k - 1, \
+            f"expected {args.coalesce_k - 1} coalesced, got {n_coalesced}"
+        reference = fanned[0]["episode_rewards"]
+        assert all(p["episode_rewards"] == reference for p in fanned), \
+            "coalesced payloads diverged"
+        print(f"coalesced:  {args.coalesce_k} in-flight duplicates -> "
+              f"1 evaluation ({n_coalesced} coalesced)")
+
+        bad = dict(REQUEST, fault={"kind": "crash"},
+                   eval={"episodes": 2, "seed": 78})
+        try:
+            await client.evaluate(bad)
+        except ServeError as exc:
+            assert exc.error_kind == "crash", \
+                f"fault misclassified as {exc.error_kind!r}"
+            print(f"fault:      injected crash classified as "
+                  f"error_kind={exc.error_kind!r}")
+        else:
+            raise AssertionError("injected fault did not fail the request")
+
+        status = await client.status()
+        hits = status["counters"].get("serve.cache_hits", 0)
+        print(f"status:     {int(status['counters']['serve.requests'])} "
+              f"requests, {int(hits)} cache hits, "
+              f"{status['inflight']} in flight")
+        if args.shutdown:
+            await client.shutdown()
+        return 0
+    finally:
+        await client.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--socket", required=True,
+                        help="Unix socket the server listens on")
+    parser.add_argument("--coalesce-k", type=int, default=4)
+    parser.add_argument("--no-shutdown", dest="shutdown", action="store_false",
+                        help="leave the server running afterwards")
+    args = parser.parse_args(argv)
+    return asyncio.run(drive(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

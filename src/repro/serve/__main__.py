@@ -1,0 +1,70 @@
+"""``python -m repro.serve`` — boot the evaluation service on a socket."""
+
+from __future__ import annotations
+
+import argparse
+import os
+from pathlib import Path
+
+from ..store import ArtifactStore
+from ..telemetry import JsonlEventSink, Telemetry
+from .server import run_server
+from .service import EvalService, ServeConfig
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Persistent attack-evaluation service (line-delimited "
+                    "JSON over a Unix socket).")
+    parser.add_argument("--socket", required=True,
+                        help="Unix socket path to listen on")
+    parser.add_argument("--store-dir", default=None,
+                        help="artifact store root (default: $REPRO_ARTIFACTS "
+                             "or ./artifacts)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="concurrent supervised worker jobs")
+    parser.add_argument("--job-timeout", type=float, default=600.0,
+                        help="per-job wall-clock budget in seconds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="extra attempts for failed jobs")
+    parser.add_argument("--no-inline", action="store_true",
+                        help="disable the in-process evaluation lane")
+    parser.add_argument("--allow-fault-injection", action="store_true",
+                        help="honor request 'fault' sections (chaos/CI only)")
+    parser.add_argument("--store-cache", type=int, default=32,
+                        help="in-process LRU size for store blobs (0=off)")
+    parser.add_argument("--telemetry-dir", default=None,
+                        help="write server telemetry JSONL under this dir")
+    args = parser.parse_args(argv)
+
+    store_root = args.store_dir or os.environ.get("REPRO_ARTIFACTS", "artifacts")
+    telemetry = None
+    if args.telemetry_dir is not None:
+        events = Path(args.telemetry_dir) / "serve_events.jsonl"
+        events.parent.mkdir(parents=True, exist_ok=True)
+        telemetry = Telemetry(sink=JsonlEventSink(events, buffer_size=1))
+    store = ArtifactStore(store_root, telemetry=telemetry,
+                          cache_size=args.store_cache)
+    config = ServeConfig(
+        inline_eval=not args.no_inline,
+        max_workers=args.workers,
+        job_timeout=args.job_timeout,
+        retries=args.retries,
+        allow_fault_injection=args.allow_fault_injection,
+    )
+    service = EvalService(store, config=config, telemetry=telemetry)
+    print(f"repro.serve listening on {args.socket} (store: {store.root})",
+          flush=True)
+    try:
+        run_server(service, args.socket)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if telemetry is not None:
+            telemetry.sink.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

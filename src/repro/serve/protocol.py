@@ -1,0 +1,278 @@
+"""Request canonicalization and the line-delimited JSON wire protocol.
+
+A robustness-evaluation request names a victim, a threat model, and an
+attack budget::
+
+    {"env_id": "Hopper-v0",
+     "victim": {"defense": "ppo", "seed": 0, "iterations": 4,
+                "steps_per_iteration": 512, "hidden_sizes": [64, 64],
+                "budget_tag": "serve"},
+     "threat": {"kind": "state_perturbation", "epsilon": 0.6, "norm": "linf"},
+     "attack": {"kind": "random"},
+     "eval":   {"episodes": 8, "seed": 1234}}
+
+:func:`normalize_request` turns any semantically equivalent spelling of
+that request — fields in any order, defaults elided, integral floats
+where ints belong — into one canonical dict, so that
+:func:`request_key` (the SHA-256 of the canonical spec through the
+store's ``spec_key`` machinery) maps equal requests to equal content
+addresses and distinct threat models to distinct ones.  Unknown fields
+are rejected loudly: a typo'd knob must not silently fork the cache.
+
+The wire format is one JSON object per line (``\\n``-terminated UTF-8)
+in both directions.  Client messages carry ``op`` (``submit`` /
+``status`` / ``ping`` / ``shutdown``) and, for submissions, a
+client-chosen ``id`` echoed on every event the server streams back
+(``queued → cached | coalesced | scheduled → progress* → result |
+error``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from ..attacks.threat_models import default_epsilon
+from ..defenses import defense_names
+from ..envs import registered_ids
+from ..experiments.runner import parse_attack_name
+from ..store import CODE_VERSION, spec_key
+
+__all__ = [
+    "ProtocolError", "normalize_request", "request_spec", "request_key",
+    "encode_message", "decode_message", "MAX_LINE_BYTES",
+    "ATTACK_KINDS", "THREAT_KINDS", "FAULT_KINDS",
+]
+
+# One wire line must fit a full result payload (episode arrays included).
+MAX_LINE_BYTES = 4 << 20
+
+LEARNED_ATTACKS = (
+    "sarl",
+    "imap-sc", "imap-pc", "imap-r", "imap-d",
+    "imap-sc+br", "imap-pc+br", "imap-r+br", "imap-d+br",
+)
+ATTACK_KINDS = ("none", "random") + LEARNED_ATTACKS
+THREAT_KINDS = ("none", "state_perturbation")
+NORMS = ("linf", "l2")
+# Deterministic fault injection for chaos tests/CI; honored only when the
+# service was started with fault injection enabled.
+FAULT_KINDS = ("crash", "numerical", "hang")
+
+MAX_EPISODES = 512
+MAX_ITERATIONS = 10_000
+MAX_STEPS_PER_ITERATION = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A malformed or unserviceable request/message."""
+
+
+def _as_int(value, field: str, minimum: int, maximum: int) -> int:
+    """Coerce to int; integral floats are accepted (``8.0`` means ``8``).
+
+    This is what keeps an int budget and a float-spelled int budget on
+    the same content address — ``spec_key`` itself distinguishes 8 from
+    8.0 by design, so the coercion has to happen here.
+    """
+    if isinstance(value, bool):
+        raise ProtocolError(f"{field}: expected an integer, got {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ProtocolError(f"{field}: expected an integer, got {value!r}")
+        value = int(value)
+    if not isinstance(value, int):
+        raise ProtocolError(f"{field}: expected an integer, got {value!r}")
+    if not minimum <= value <= maximum:
+        raise ProtocolError(
+            f"{field}: {value} outside allowed range [{minimum}, {maximum}]")
+    return value
+
+
+def _as_float(value, field: str, minimum: float | None = None) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{field}: expected a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ProtocolError(f"{field}: must be finite, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ProtocolError(f"{field}: {value} must be >= {minimum}")
+    return value
+
+
+def _as_str(value, field: str, options: tuple[str, ...] | None = None) -> str:
+    if not isinstance(value, str):
+        raise ProtocolError(f"{field}: expected a string, got {value!r}")
+    if options is not None and value not in options:
+        raise ProtocolError(f"{field}: {value!r} not one of {sorted(options)}")
+    return value
+
+
+def _section(request: dict, name: str, allowed: tuple[str, ...]) -> dict:
+    section = request.get(name, {})
+    if not isinstance(section, dict):
+        raise ProtocolError(f"{name}: expected an object, got {section!r}")
+    unknown = set(section) - set(allowed)
+    if unknown:
+        raise ProtocolError(f"{name}: unknown fields {sorted(unknown)} "
+                            f"(allowed: {sorted(allowed)})")
+    return section
+
+
+def normalize_request(request: dict) -> dict:
+    """Validate ``request`` and return its canonical form.
+
+    Idempotent: ``normalize_request(normalize_request(r)) ==
+    normalize_request(r)``.  Sections irrelevant to the requested
+    computation are reduced to their discriminating fields (a ``none``
+    attack has no budget; a ``none`` threat has no ε), so fields that
+    cannot affect the result cannot split the cache either.
+    """
+    if not isinstance(request, dict):
+        raise ProtocolError(f"request must be an object, got {type(request).__name__}")
+    unknown = set(request) - {"env_id", "victim", "threat", "attack", "eval", "fault"}
+    if unknown:
+        raise ProtocolError(f"request: unknown fields {sorted(unknown)}")
+    if "env_id" not in request:
+        raise ProtocolError("request: missing required field 'env_id'")
+    env_id = _as_str(request["env_id"], "env_id")
+    if env_id not in registered_ids():
+        raise ProtocolError(f"env_id: unknown environment {env_id!r}")
+
+    victim = _section(request, "victim", (
+        "defense", "seed", "iterations", "steps_per_iteration",
+        "hidden_sizes", "budget_tag"))
+    hidden = victim.get("hidden_sizes", [64, 64])
+    if not isinstance(hidden, (list, tuple)) or not hidden:
+        raise ProtocolError(f"victim.hidden_sizes: expected a non-empty list, "
+                            f"got {hidden!r}")
+    norm_victim = {
+        "defense": _as_str(victim.get("defense", "ppo"), "victim.defense",
+                           tuple(defense_names())),
+        "seed": _as_int(victim.get("seed", 0), "victim.seed", 0, 2**32 - 1),
+        "iterations": _as_int(victim.get("iterations", 4), "victim.iterations",
+                              1, MAX_ITERATIONS),
+        "steps_per_iteration": _as_int(
+            victim.get("steps_per_iteration", 512),
+            "victim.steps_per_iteration", 32, MAX_STEPS_PER_ITERATION),
+        "hidden_sizes": [_as_int(h, "victim.hidden_sizes[]", 1, 4096)
+                         for h in hidden],
+        "budget_tag": _as_str(victim.get("budget_tag", "serve"),
+                              "victim.budget_tag"),
+    }
+
+    attack = _section(request, "attack", (
+        "kind", "seed", "iterations", "steps_per_iteration"))
+    attack_kind = _as_str(attack.get("kind", "none"), "attack.kind", ATTACK_KINDS)
+    if attack_kind in LEARNED_ATTACKS:
+        parse_attack_name(attack_kind)  # defense in depth: must stay parseable
+        norm_attack = {
+            "kind": attack_kind,
+            "seed": _as_int(attack.get("seed", 0), "attack.seed", 0, 2**32 - 1),
+            "iterations": _as_int(attack.get("iterations", 3),
+                                  "attack.iterations", 1, MAX_ITERATIONS),
+            "steps_per_iteration": _as_int(
+                attack.get("steps_per_iteration", 512),
+                "attack.steps_per_iteration", 32, MAX_STEPS_PER_ITERATION),
+        }
+    else:
+        # "none" evaluates the clean victim; "random" draws uniform ε-ball
+        # noise seeded by the eval seed.  Neither has a training budget,
+        # so none of those fields may enter the key.
+        for field in ("seed", "iterations", "steps_per_iteration"):
+            if field in attack:
+                raise ProtocolError(
+                    f"attack.{field}: not meaningful for attack kind "
+                    f"{attack_kind!r}")
+        norm_attack = {"kind": attack_kind}
+
+    threat = _section(request, "threat", ("kind", "epsilon", "norm"))
+    default_threat = "none" if attack_kind == "none" else "state_perturbation"
+    threat_kind = _as_str(threat.get("kind", default_threat), "threat.kind",
+                          THREAT_KINDS)
+    if threat_kind == "none":
+        if attack_kind != "none":
+            raise ProtocolError(
+                f"threat.kind 'none' is incompatible with attack kind "
+                f"{attack_kind!r} (perturbation attacks need a threat model)")
+        for field in ("epsilon", "norm"):
+            if field in threat:
+                raise ProtocolError(f"threat.{field}: not meaningful for "
+                                    "threat kind 'none'")
+        norm_threat = {"kind": "none"}
+    else:
+        epsilon = _as_float(threat.get("epsilon", default_epsilon(env_id)),
+                            "threat.epsilon")
+        if epsilon <= 0.0:
+            raise ProtocolError(f"threat.epsilon: must be > 0, got {epsilon}")
+        norm_threat = {
+            "kind": "state_perturbation",
+            "epsilon": epsilon,
+            "norm": _as_str(threat.get("norm", "linf"), "threat.norm", NORMS),
+        }
+
+    eval_section = _section(request, "eval", ("episodes", "seed"))
+    norm_eval = {
+        "episodes": _as_int(eval_section.get("episodes", 8), "eval.episodes",
+                            1, MAX_EPISODES),
+        "seed": _as_int(eval_section.get("seed", 1234), "eval.seed",
+                        0, 2**32 - 1),
+    }
+
+    normalized = {
+        "env_id": env_id,
+        "victim": norm_victim,
+        "threat": norm_threat,
+        "attack": norm_attack,
+        "eval": norm_eval,
+    }
+    if "fault" in request:
+        fault = _section(request, "fault", ("kind",))
+        if "kind" not in fault:
+            raise ProtocolError("fault: missing required field 'kind'")
+        normalized["fault"] = {
+            "kind": _as_str(fault["kind"], "fault.kind", FAULT_KINDS)}
+    return normalized
+
+
+def request_spec(normalized: dict) -> dict:
+    """The content-address spec for a normalized request's result artifact."""
+    return {"kind": "robustness_eval", "code_version": CODE_VERSION,
+            "request": normalized}
+
+
+def request_key(request: dict) -> str:
+    """Canonical content address of (the normalization of) ``request``."""
+    return spec_key(request_spec(normalize_request(request)))
+
+
+# ----------------------------------------------------------------- wire form
+
+
+def encode_message(message: dict) -> bytes:
+    """One wire line: compact JSON + newline.  Rejects NaN/Infinity."""
+    try:
+        line = json.dumps(message, sort_keys=True, separators=(",", ":"),
+                          ensure_ascii=True, allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unencodable message: {exc}") from exc
+    return line.encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict:
+    """Parse one wire line into a message dict."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(f"wire line exceeds {MAX_LINE_BYTES} bytes")
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty wire line")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON on the wire: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"wire message must be an object, "
+                            f"got {type(message).__name__}")
+    return message

@@ -1,0 +1,96 @@
+"""Store-backed result cache: evaluation payloads in and out of the store.
+
+A served result is persisted as an ordinary content-addressed artifact —
+three named arrays (per-episode rewards, successes, lengths) under the
+request's canonical spec — so a warm request is a plain ``store.get``
+and the store's own integrity machinery (sidecar commit markers, blob
+hashes, the optional in-process LRU) applies unchanged.  Summary
+statistics are *recomputed* from the arrays on every load rather than
+trusted from metadata: the arrays are the result, the stats are a view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..eval.harness import AttackEvaluation
+from ..store import ArtifactStore
+
+__all__ = ["RequestCache", "evaluation_state", "payload_from_state",
+           "payload_from_evaluation"]
+
+
+def evaluation_state(evaluation: AttackEvaluation) -> dict[str, np.ndarray]:
+    """The arrays that *are* a served result (everything else is derived)."""
+    return {
+        "episode_rewards": np.asarray(evaluation.episode_rewards,
+                                      dtype=np.float64),
+        "episode_successes": np.asarray(evaluation.episode_successes,
+                                        dtype=np.int64),
+        "episode_lengths": np.asarray(evaluation.episode_lengths,
+                                      dtype=np.int64),
+    }
+
+
+def payload_from_state(state: dict[str, np.ndarray], key: str) -> dict:
+    """JSON-safe client payload reconstructed from stored arrays."""
+    rewards = np.asarray(state["episode_rewards"], dtype=np.float64)
+    successes = np.asarray(state["episode_successes"], dtype=np.int64)
+    lengths = np.asarray(state["episode_lengths"], dtype=np.int64)
+    n = int(rewards.shape[0])
+    success_rate = float(successes.mean()) if n else 0.0
+    return {
+        "key": key,
+        "episodes": n,
+        "mean_reward": float(rewards.mean()) if n else 0.0,
+        "std_reward": float(rewards.std()) if n else 0.0,
+        "victim_success_rate": success_rate,
+        "asr": 1.0 - success_rate,
+        "episode_rewards": [float(r) for r in rewards],
+        "episode_successes": [bool(s) for s in successes],
+        "episode_lengths": [int(length) for length in lengths],
+    }
+
+
+def payload_from_evaluation(evaluation: AttackEvaluation, key: str) -> dict:
+    return payload_from_state(evaluation_state(evaluation), key)
+
+
+class RequestCache:
+    """Dedup layer between the service and the artifact store."""
+
+    def __init__(self, store: ArtifactStore):
+        self.store = store
+
+    def lookup(self, spec: dict) -> dict | None:
+        """The cached payload for ``spec``, or None on miss/corruption."""
+        hit = self.store.get(spec)
+        if hit is None:
+            return None
+        state, entry = hit
+        try:
+            return payload_from_state(state, entry.key)
+        except KeyError:
+            # An artifact under this key that isn't an evaluation result
+            # (or predates the schema) is a miss, not a crash.
+            return None
+
+    def store_result(self, spec: dict, evaluation: AttackEvaluation,
+                     metadata: dict | None = None) -> dict:
+        """Persist ``evaluation`` under ``spec`` and return its payload.
+
+        The payload is built from the same arrays that were written, so a
+        cold response and every later warm response are field-identical.
+        """
+        state = evaluation_state(evaluation)
+        payload = payload_from_state(state, self.store.key_for(spec))
+        meta = {
+            "episodes": payload["episodes"],
+            "mean_reward": payload["mean_reward"],
+            "asr": payload["asr"],
+        }
+        if metadata:
+            meta.update(metadata)
+        entry = self.store.put(spec, state, metadata=meta)
+        payload["key"] = entry.key
+        return payload

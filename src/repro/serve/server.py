@@ -1,0 +1,162 @@
+"""Line-delimited JSON server over a Unix domain socket.
+
+One connection may multiplex many submissions: each ``submit`` carries a
+client-chosen ``id`` that the server echoes on every event it streams
+back for that request, so responses from concurrent evaluations can
+interleave on the wire without ambiguity.  All writes for a connection
+are funneled through one queue + writer task — event callbacks fire from
+many request tasks, and per-message ordering must survive that.
+
+Ops: ``submit`` (stream lifecycle events, ending in ``result`` or
+``error``), ``status`` (counters + occupancy), ``ping``, ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from pathlib import Path
+
+from .protocol import MAX_LINE_BYTES, ProtocolError, decode_message, encode_message
+from .service import EvalService, ServeError
+
+__all__ = ["run_server", "serve_forever"]
+
+
+class _Connection:
+    """One client connection: a send queue and the tasks it spawned."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.queue: asyncio.Queue[dict | None] = asyncio.Queue()
+        self.tasks: set[asyncio.Task] = set()
+
+    def send(self, message: dict) -> None:
+        self.queue.put_nowait(message)
+
+    async def drain_writes(self) -> None:
+        while True:
+            message = await self.queue.get()
+            if message is None:
+                return
+            try:
+                self.writer.write(encode_message(message))
+                await self.writer.drain()
+            except (ConnectionError, ProtocolError):
+                return
+
+
+async def _handle_submit(service: EvalService, conn: _Connection,
+                         message: dict) -> None:
+    request_id = message.get("id")
+    request = message.get("request")
+
+    def send(event: dict) -> None:
+        conn.send(dict(event, id=request_id))
+
+    if not isinstance(request, dict):
+        send({"event": "error", "error": "submit: missing 'request' object",
+              "error_kind": "protocol"})
+        return
+    try:
+        await service.submit(request, on_event=send)
+    except ProtocolError as exc:
+        send({"event": "error", "error": str(exc), "error_kind": "protocol"})
+    except ServeError:
+        pass  # submit already emitted the error event through on_event
+    except Exception as exc:  # noqa: BLE001 — a request must not kill the server
+        send({"event": "error", "error": f"{type(exc).__name__}: {exc}",
+              "error_kind": "crash"})
+
+
+async def _handle_connection(service: EvalService, stop: asyncio.Event,
+                             handlers: set[asyncio.Task],
+                             connections: set["_Connection"],
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    conn = _Connection(writer)
+    handlers.add(asyncio.current_task())
+    connections.add(conn)
+    writer_task = asyncio.create_task(conn.drain_writes())
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionError, asyncio.LimitOverrunError):
+                break
+            if not line:
+                break
+            try:
+                message = decode_message(line)
+            except ProtocolError as exc:
+                conn.send({"event": "error", "error": str(exc),
+                           "error_kind": "protocol"})
+                continue
+            op = message.get("op")
+            if op == "submit":
+                task = asyncio.create_task(
+                    _handle_submit(service, conn, message))
+                conn.tasks.add(task)
+                task.add_done_callback(conn.tasks.discard)
+            elif op == "status":
+                conn.send(dict(service.stats(), event="status",
+                               id=message.get("id")))
+            elif op == "ping":
+                conn.send({"event": "pong", "id": message.get("id")})
+            elif op == "shutdown":
+                conn.send({"event": "shutting_down", "id": message.get("id")})
+                stop.set()
+            else:
+                conn.send({"event": "error", "id": message.get("id"),
+                           "error": f"unknown op {op!r}",
+                           "error_kind": "protocol"})
+    finally:
+        connections.discard(conn)
+        # Let in-flight submissions finish streaming before closing.
+        if conn.tasks:
+            await asyncio.gather(*conn.tasks, return_exceptions=True)
+        conn.send(None)
+        with contextlib.suppress(Exception):
+            await writer_task
+        # close() without wait_closed(): the transport finishes closing on
+        # its own, and awaiting here races loop teardown on shutdown.
+        with contextlib.suppress(Exception):
+            writer.close()
+        handlers.discard(asyncio.current_task())
+
+
+async def serve_forever(service: EvalService, socket_path: str | Path,
+                        ready: asyncio.Event | None = None) -> None:
+    """Accept connections on ``socket_path`` until a client asks to stop."""
+    socket_path = Path(socket_path)
+    socket_path.parent.mkdir(parents=True, exist_ok=True)
+    with contextlib.suppress(OSError):
+        socket_path.unlink()
+    stop = asyncio.Event()
+    handlers: set[asyncio.Task] = set()
+    connections: set[_Connection] = set()
+    server = await asyncio.start_unix_server(
+        lambda r, w: _handle_connection(service, stop, handlers,
+                                        connections, r, w),
+        path=str(socket_path), limit=MAX_LINE_BYTES)
+    if ready is not None:
+        ready.set()
+    try:
+        async with server:
+            await stop.wait()
+            # Feed EOF to every open connection (readline returns b'')
+            # and wait for the handlers to unwind on their own — leaving
+            # them to be cancelled at loop teardown is noisy on 3.11.
+            for conn in list(connections):
+                with contextlib.suppress(Exception):
+                    conn.writer.close()
+            if handlers:
+                await asyncio.wait(list(handlers), timeout=10.0)
+    finally:
+        with contextlib.suppress(OSError):
+            socket_path.unlink()
+
+
+def run_server(service: EvalService, socket_path: str | Path) -> None:
+    """Blocking entry point (used by ``python -m repro.serve``)."""
+    asyncio.run(serve_forever(service, socket_path))

@@ -25,8 +25,10 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 import zipfile
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -85,11 +87,31 @@ class ArtifactEntry:
 
 
 class ArtifactStore:
-    """Filesystem-backed content-addressed store (see module docstring)."""
+    """Filesystem-backed content-addressed store (see module docstring).
 
-    def __init__(self, root: str | Path, telemetry=None):
+    ``cache_size > 0`` enables an in-process LRU of the last N
+    *deserialized* blobs, so a serving hot path answering the same spec
+    repeatedly doesn't re-read and re-parse the same ``.npz`` from disk
+    on every hit.  The cache is keyed by content address, so immutability
+    makes staleness impossible within one process; ``put``/``remove``
+    still invalidate defensively (a re-put of the same key is the only
+    way bytes behind a key can legally change, and only to equal
+    content).  Cached arrays are shared between callers and must be
+    treated as read-only; callers that mutate must copy (the policy
+    loaders already do — ``load_state_dict`` copies into place).
+
+    Every ``get`` outcome bumps a telemetry counter (when a telemetry is
+    ambient or injected): ``store.hits`` / ``store.misses`` for the
+    overall result, plus ``store.memcache_hits`` when the LRU answered
+    without touching disk.
+    """
+
+    def __init__(self, root: str | Path, telemetry=None, cache_size: int = 0):
         self.root = Path(root)
         self._telemetry = telemetry
+        self.cache_size = max(0, int(cache_size))
+        self._cache: OrderedDict[str, tuple[dict, ArtifactEntry]] = OrderedDict()
+        self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------- plumbing
 
@@ -108,6 +130,35 @@ class ArtifactStore:
         telemetry = self._telemetry if self._telemetry is not None else current_telemetry()
         if telemetry is not None:
             telemetry.record_artifact(entry.key, role, kind=entry.spec.get("kind"))
+
+    def _count(self, name: str) -> None:
+        telemetry = self._telemetry if self._telemetry is not None else current_telemetry()
+        if telemetry is not None:
+            telemetry.metrics.counter(name).inc()
+
+    # ----------------------------------------------------------- blob cache
+
+    def _cache_lookup(self, key: str) -> tuple[dict, ArtifactEntry] | None:
+        if self.cache_size <= 0:
+            return None
+        with self._cache_lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
+            return hit
+
+    def _cache_insert(self, key: str, state: dict, entry: ArtifactEntry) -> None:
+        if self.cache_size <= 0:
+            return
+        with self._cache_lock:
+            self._cache[key] = (state, entry)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    def _cache_invalidate(self, key: str) -> None:
+        with self._cache_lock:
+            self._cache.pop(key, None)
 
     # ------------------------------------------------------------ write path
 
@@ -144,6 +195,7 @@ class ArtifactStore:
             if os.path.exists(tmp_name):
                 os.unlink(tmp_name)
             raise
+        self._cache_invalidate(key)
         self._record("produced", entry)
         return entry
 
@@ -202,19 +254,36 @@ class ArtifactStore:
 
         A corrupt/truncated blob is treated exactly like a cache miss so
         callers fall back to retraining instead of crashing on (or worse,
-        silently serving) damaged arrays.
+        silently serving) damaged arrays.  With ``cache_size > 0`` a
+        repeat ``get`` of a recently loaded key is answered from the
+        in-process LRU without touching disk; the returned dict is a
+        fresh shallow copy either way, but the *arrays* are shared —
+        treat them as read-only.
         """
-        entry = self.entry(spec)
+        key = spec_key(canonicalize(spec))
+        cached = self._cache_lookup(key)
+        if cached is not None:
+            state, entry = cached
+            self._count("store.hits")
+            self._count("store.memcache_hits")
+            self._record("consumed", entry)
+            return dict(state), entry
+        entry = self.entry_by_key(key)
         if entry is None:
+            self._count("store.misses")
             return None
         if self._blob_corruption(entry) is not None:
+            self._count("store.misses")
             return None
         try:
             state, _ = load_state(entry.path)
         except (OSError, ValueError, zipfile.BadZipFile):
+            self._count("store.misses")
             return None
+        self._cache_insert(key, state, entry)
+        self._count("store.hits")
         self._record("consumed", entry)
-        return state, entry
+        return dict(state), entry
 
     # ---------------------------------------------------------- maintenance
 
@@ -234,6 +303,7 @@ class ArtifactStore:
         return sum(entry.nbytes for entry in self.list())
 
     def remove(self, key: str) -> bool:
+        self._cache_invalidate(key)
         blob_path, sidecar_path = self._paths(key)
         removed = False
         # Sidecar first: an interrupted remove leaves an orphan blob

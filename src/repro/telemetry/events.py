@@ -13,14 +13,19 @@ comes from an injected :class:`~repro.telemetry.clock.Clock`.
 
 :class:`JsonlEventSink` buffers serialized lines and appends them with a
 single ``write`` call per flush, so a line is never torn by a concurrent
-reader; ``close()`` flushes and fsyncs.  :class:`MemoryEventSink` keeps
-events in a list for tests.
+reader; ``close()`` flushes and fsyncs.  The sink is also safe for
+concurrent *producers*: a serving process has many coroutines and worker
+threads emitting into one sink, so buffer append, flush, and close are
+serialized under an internal lock — two racing emits can interleave
+whole lines but never tear one.  :class:`MemoryEventSink` keeps events
+in a list for tests.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 
 __all__ = ["EventSink", "NullEventSink", "MemoryEventSink", "JsonlEventSink",
@@ -74,6 +79,12 @@ class JsonlEventSink(EventSink):
     a buffered event) and written in batches of ``buffer_size`` with one
     ``write`` syscall per flush.  The file is opened lazily on the first
     flush, so constructing a sink never touches the filesystem.
+
+    Emit/flush/close are serialized under a lock: concurrent producers
+    (server coroutines, scheduler threads) may interleave *lines* but can
+    never tear one or drop a buffered event in an emit/flush race.
+    Serialization happens outside the lock — only buffer and file state
+    are guarded.
     """
 
     def __init__(self, path: str | Path, buffer_size: int = 64,
@@ -84,16 +95,19 @@ class JsonlEventSink(EventSink):
         self._lines: list[str] = []
         self._file = None
         self._closed = False
+        self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
-        if self._closed:
-            raise ValueError(f"sink for {self.path} is closed")
-        self._lines.append(json.dumps(event, sort_keys=True,
-                                      separators=(",", ":"), default=str))
-        if len(self._lines) >= self.buffer_size:
-            self.flush()
+        line = json.dumps(event, sort_keys=True,
+                          separators=(",", ":"), default=str)
+        with self._lock:
+            if self._closed:
+                raise ValueError(f"sink for {self.path} is closed")
+            self._lines.append(line)
+            if len(self._lines) >= self.buffer_size:
+                self._flush_locked()
 
-    def flush(self) -> None:
+    def _flush_locked(self) -> None:
         if not self._lines:
             return
         if self._file is None:
@@ -103,16 +117,21 @@ class JsonlEventSink(EventSink):
         self._file.flush()
         self._lines = []
 
+    def flush(self) -> None:
+        with self._lock:
+            self._flush_locked()
+
     def close(self) -> None:
-        if self._closed:
-            return
-        self.flush()
-        if self._file is not None:
-            if self.fsync_on_close:
-                os.fsync(self._file.fileno())
-            self._file.close()
-            self._file = None
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._flush_locked()
+            if self._file is not None:
+                if self.fsync_on_close:
+                    os.fsync(self._file.fileno())
+                self._file.close()
+                self._file = None
+            self._closed = True
 
     def __enter__(self) -> "JsonlEventSink":
         return self

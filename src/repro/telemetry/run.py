@@ -20,6 +20,7 @@ baseline speed.
 from __future__ import annotations
 
 import contextlib
+import threading
 from contextvars import ContextVar
 from pathlib import Path
 
@@ -82,6 +83,7 @@ class Telemetry:
         self.clock = clock or WallClock()
         self.manifest_path = Path(manifest_path) if manifest_path else None
         self._seq = 0
+        self._seq_lock = threading.Lock()
         self._finalized = False
 
     # ------------------------------------------------------------ factories
@@ -119,12 +121,19 @@ class Telemetry:
 
     def event(self, event_type: str, payload: dict | None = None,
               perf: dict | None = None) -> None:
-        """Emit one event; ``payload`` must be deterministic, ``perf`` may not."""
-        record: dict = {"seq": self._seq, "ts": self.clock.wall(),
+        """Emit one event; ``payload`` must be deterministic, ``perf`` may not.
+
+        Sequence numbers are allocated under a lock so concurrent
+        producers (serving coroutines, scheduler threads) never share a
+        ``seq``; the sink itself is responsible for its own thread safety.
+        """
+        with self._seq_lock:
+            seq = self._seq
+            self._seq += 1
+        record: dict = {"seq": seq, "ts": self.clock.wall(),
                         "type": event_type, "payload": payload or {}}
         if perf:
             record["perf"] = perf
-        self._seq += 1
         self.sink.emit(record)
 
     def timer(self, name: str) -> _Timer:

@@ -1,0 +1,188 @@
+"""Tests for the micro-batching inference lane.
+
+The contract under test: forwards are actually grouped (calls < items),
+results are bit-identical to unbatched ``act`` on the same observations,
+and the whole evaluation is a pure function of the request — the same
+spec gives the same arrays however the event loop interleaves episodes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.rl.policy import ActorCritic
+from repro.serve import MicroBatcher, batched_evaluate, run_batched_evaluate
+from repro.serve.batcher import _MODE_RNG
+
+
+def make_policy(obs_dim=5, action_dim=3, seed=0) -> ActorCritic:
+    return ActorCritic(obs_dim, action_dim, hidden_sizes=(8,),
+                       rng=np.random.default_rng(seed))
+
+
+class TestMicroBatcher:
+    def test_groups_concurrent_forwards_into_one_call(self):
+        policy = make_policy()
+        obs = np.random.default_rng(1).normal(size=(4, 5))
+
+        async def main():
+            batcher = MicroBatcher()
+            for i in range(4):
+                batcher.join(i)
+
+            async def one(i):
+                try:
+                    return await batcher.act(i, policy, obs[i])
+                finally:
+                    batcher.leave(i)
+
+            actions = await asyncio.gather(*[one(i) for i in range(4)])
+            return batcher, actions
+
+        batcher, actions = asyncio.run(main())
+        assert batcher.calls == 1
+        assert batcher.items == 4
+        # Bit-identical to one direct act_batch over the same rows.
+        expected, _, _, _, _ = policy.act_batch(obs, _MODE_RNG,
+                                                deterministic=True)
+        for i in range(4):
+            np.testing.assert_array_equal(actions[i], expected[i])
+
+    def test_two_policies_flush_as_separate_groups(self):
+        victim, attacker = make_policy(seed=0), make_policy(5, 5, seed=1)
+        obs = np.random.default_rng(2).normal(size=(4, 5))
+
+        async def main():
+            batcher = MicroBatcher()
+            for i in range(4):
+                batcher.join(i)
+
+            async def one(i):
+                policy = victim if i % 2 == 0 else attacker
+                try:
+                    return await batcher.act(i, policy, obs[i])
+                finally:
+                    batcher.leave(i)
+
+            await asyncio.gather(*[one(i) for i in range(4)])
+            return batcher
+
+        batcher = asyncio.run(main())
+        assert batcher.calls == 2
+        assert batcher.items == 4
+
+    def test_leave_unblocks_remaining_members(self):
+        """A member that exits early must not wedge the others' flush."""
+        policy = make_policy()
+
+        async def main():
+            batcher = MicroBatcher()
+            batcher.join(0)
+            batcher.join(1)
+
+            async def short():
+                batcher.leave(0)
+
+            async def long():
+                try:
+                    return await batcher.act(1, policy, np.zeros(5))
+                finally:
+                    batcher.leave(1)
+
+            _, action = await asyncio.wait_for(
+                asyncio.gather(short(), long()), timeout=5.0)
+            return action
+
+        action = asyncio.run(main())
+        assert action.shape == (3,)
+
+    def test_submit_without_join_rejected(self):
+        async def main():
+            batcher = MicroBatcher()
+            with pytest.raises(ValueError, match="must join"):
+                await batcher.act(0, make_policy(), np.zeros(5))
+
+        asyncio.run(main())
+
+    def test_policy_failure_propagates_to_waiters(self):
+        class Broken:
+            def act_batch(self, batch, rng, deterministic=False):
+                raise RuntimeError("injected forward failure")
+
+        async def main():
+            batcher = MicroBatcher()
+            batcher.join(0)
+            try:
+                await batcher.act(0, Broken(), np.zeros(5))
+            finally:
+                batcher.leave(0)
+
+        with pytest.raises(RuntimeError, match="injected forward"):
+            asyncio.run(main())
+
+
+class TestBatchedEvaluate:
+    def test_batches_across_episodes(self, tiny_victim):
+        batcher = MicroBatcher()
+        evaluation = asyncio.run(batched_evaluate(
+            lambda: envs.make("Hopper-v0"), tiny_victim,
+            episodes=4, seed=5, batcher=batcher))
+        assert len(evaluation.episode_rewards) == 4
+        assert batcher.calls < batcher.items  # grouping actually happened
+
+    def test_deterministic_across_runs(self, tiny_victim):
+        kwargs = dict(episodes=3, seed=11)
+        first = run_batched_evaluate(lambda: envs.make("Hopper-v0"),
+                                     tiny_victim, **kwargs)
+        second = run_batched_evaluate(lambda: envs.make("Hopper-v0"),
+                                      tiny_victim, **kwargs)
+        assert first.episode_rewards == second.episode_rewards
+        assert first.episode_lengths == second.episode_lengths
+        assert first.episode_successes == second.episode_successes
+
+    def test_seed_changes_result(self, tiny_victim):
+        a = run_batched_evaluate(lambda: envs.make("Hopper-v0"), tiny_victim,
+                                 episodes=3, seed=11)
+        b = run_batched_evaluate(lambda: envs.make("Hopper-v0"), tiny_victim,
+                                 episodes=3, seed=12)
+        assert a.episode_rewards != b.episode_rewards
+
+    def test_episode_count_changes_batch_composition(self, tiny_victim):
+        """Episode seeds are prefix-stable; episode *results* are not.
+
+        ``derive_job_seeds`` gives episode i the same seed whether 3 or
+        5 episodes run, so per-episode randomness is count-independent —
+        but the batch a forward pass rides in is part of the request's
+        contract (batched float64 matmul is not row-stable across batch
+        shapes), so rewards from a 3-episode and a 5-episode request are
+        two different, individually reproducible results.
+        """
+        from repro.runtime.scheduler import derive_job_seeds
+
+        assert derive_job_seeds(7, 5)[:3] == derive_job_seeds(7, 3)
+        three = run_batched_evaluate(lambda: envs.make("Hopper-v0"),
+                                     tiny_victim, episodes=3, seed=7)
+        rerun = run_batched_evaluate(lambda: envs.make("Hopper-v0"),
+                                     tiny_victim, episodes=3, seed=7)
+        assert three.episode_rewards == rerun.episode_rewards
+
+    def test_random_attack_perturbs_outcome(self, tiny_victim):
+        from repro.attacks import RandomAttackPolicy
+
+        clean = run_batched_evaluate(lambda: envs.make("Hopper-v0"),
+                                     tiny_victim, episodes=3, seed=7)
+        attacked = run_batched_evaluate(
+            lambda: envs.make("Hopper-v0"), tiny_victim, episodes=3, seed=7,
+            attack_policy=RandomAttackPolicy(
+                envs.make("Hopper-v0").observation_space.shape[0], seed=7),
+            epsilon=0.6, norm="linf")
+        assert clean.episode_rewards != attacked.episode_rewards
+
+    def test_rejects_nonpositive_episodes(self, tiny_victim):
+        with pytest.raises(ValueError, match="episodes must be positive"):
+            run_batched_evaluate(lambda: envs.make("Hopper-v0"), tiny_victim,
+                                 episodes=0, seed=1)

@@ -1,0 +1,209 @@
+"""Property tests for the serve protocol's canonicalization layer.
+
+The dedup guarantee rests on two invariants: every semantically
+equivalent spelling of a request (field order, int-vs-float budgets,
+defaults elided vs explicit) maps to the *same* content address, and
+requests that name distinct computations (different threat models,
+budgets, seeds) *never* share one.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import ProtocolError, normalize_request, request_key
+from repro.serve.protocol import (
+    ATTACK_KINDS,
+    LEARNED_ATTACKS,
+    decode_message,
+    encode_message,
+)
+
+ENV_IDS = ("Hopper-v0", "Walker2d-v0", "Ant-v0")
+
+
+def permute(d: dict, rng_seed: int) -> dict:
+    """Same mapping, different insertion order (recursively)."""
+    import random
+
+    rng = random.Random(rng_seed)
+    keys = list(d)
+    rng.shuffle(keys)
+    return {k: permute(d[k], rng_seed + 1) if isinstance(d[k], dict) else d[k]
+            for k in keys}
+
+
+def intish(value: int) -> st.SearchStrategy:
+    """The int itself or its float spelling — must canonicalize equally."""
+    return st.sampled_from([value, float(value)])
+
+
+@st.composite
+def requests(draw) -> dict:
+    env_id = draw(st.sampled_from(ENV_IDS))
+    request: dict = {"env_id": env_id}
+    attack_kind = draw(st.sampled_from(ATTACK_KINDS))
+    attack: dict = {"kind": attack_kind}
+    if attack_kind in LEARNED_ATTACKS:
+        if draw(st.booleans()):
+            attack["seed"] = draw(intish(draw(st.integers(0, 100))))
+        if draw(st.booleans()):
+            attack["iterations"] = draw(intish(draw(st.integers(1, 10))))
+    request["attack"] = attack
+    if attack_kind != "none" and draw(st.booleans()):
+        threat: dict = {"kind": "state_perturbation"}
+        if draw(st.booleans()):
+            threat["epsilon"] = draw(st.floats(0.01, 2.0, allow_nan=False))
+        if draw(st.booleans()):
+            threat["norm"] = draw(st.sampled_from(["linf", "l2"]))
+        request["threat"] = threat
+    if draw(st.booleans()):
+        request["victim"] = {
+            "seed": draw(intish(draw(st.integers(0, 100)))),
+            "iterations": draw(intish(draw(st.integers(1, 16)))),
+        }
+    if draw(st.booleans()):
+        request["eval"] = {
+            "episodes": draw(intish(draw(st.integers(1, 64)))),
+            "seed": draw(intish(draw(st.integers(0, 10_000)))),
+        }
+    return request
+
+
+class TestKeyEquivalence:
+    @settings(deadline=None, max_examples=80)
+    @given(request=requests(), perm_seed=st.integers(0, 2**31))
+    def test_field_order_is_irrelevant(self, request, perm_seed):
+        assert request_key(permute(request, perm_seed)) == request_key(request)
+
+    @settings(deadline=None, max_examples=80)
+    @given(request=requests())
+    def test_normalize_is_idempotent(self, request):
+        normalized = normalize_request(request)
+        assert normalize_request(normalized) == normalized
+        assert request_key(normalized) == request_key(request)
+
+    @settings(deadline=None, max_examples=60)
+    @given(episodes=st.integers(1, 64), seed=st.integers(0, 1000))
+    def test_int_and_float_budgets_collide(self, episodes, seed):
+        """``8`` and ``8.0`` name the same computation."""
+        as_int = {"env_id": "Hopper-v0",
+                  "eval": {"episodes": episodes, "seed": seed}}
+        as_float = {"env_id": "Hopper-v0",
+                    "eval": {"episodes": float(episodes), "seed": float(seed)}}
+        assert request_key(as_int) == request_key(as_float)
+
+    @settings(deadline=None, max_examples=60)
+    @given(epsilon=st.integers(1, 3))
+    def test_integral_epsilon_spellings_collide(self, epsilon):
+        base = {"env_id": "Hopper-v0", "attack": {"kind": "random"}}
+        a = dict(base, threat={"epsilon": epsilon})
+        b = dict(base, threat={"epsilon": float(epsilon)})
+        assert request_key(a) == request_key(b)
+
+    def test_elided_defaults_collide_with_explicit(self):
+        bare = {"env_id": "Hopper-v0"}
+        explicit = {
+            "env_id": "Hopper-v0",
+            "victim": {"defense": "ppo", "seed": 0, "iterations": 4,
+                       "steps_per_iteration": 512, "hidden_sizes": [64, 64],
+                       "budget_tag": "serve"},
+            "attack": {"kind": "none"},
+            "threat": {"kind": "none"},
+            "eval": {"episodes": 8, "seed": 1234},
+        }
+        assert request_key(bare) == request_key(explicit)
+
+
+class TestKeySeparation:
+    @settings(deadline=None, max_examples=80)
+    @given(a=requests(), b=requests())
+    def test_distinct_normalizations_never_collide(self, a, b):
+        """Keys are injective on canonical forms (SHA-256, modulo miracles)."""
+        if normalize_request(a) == normalize_request(b):
+            assert request_key(a) == request_key(b)
+        else:
+            assert request_key(a) != request_key(b)
+
+    @settings(deadline=None, max_examples=40)
+    @given(eps_a=st.floats(0.01, 2.0, allow_nan=False),
+           eps_b=st.floats(0.01, 2.0, allow_nan=False))
+    def test_threat_budget_separates_keys(self, eps_a, eps_b):
+        base = {"env_id": "Hopper-v0", "attack": {"kind": "random"}}
+        key_a = request_key(dict(base, threat={"epsilon": eps_a}))
+        key_b = request_key(dict(base, threat={"epsilon": eps_b}))
+        assert (key_a == key_b) == (eps_a == eps_b)
+
+    def test_threat_norm_separates_keys(self):
+        base = {"env_id": "Hopper-v0", "attack": {"kind": "random"}}
+        assert (request_key(dict(base, threat={"norm": "linf"}))
+                != request_key(dict(base, threat={"norm": "l2"})))
+
+    def test_attack_kind_separates_keys(self):
+        keys = {request_key({"env_id": "Hopper-v0", "attack": {"kind": k}})
+                for k in ATTACK_KINDS}
+        assert len(keys) == len(ATTACK_KINDS)
+
+
+class TestValidation:
+    def test_unknown_top_level_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            normalize_request({"env_id": "Hopper-v0", "victiim": {}})
+
+    def test_unknown_section_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            normalize_request({"env_id": "Hopper-v0",
+                               "eval": {"episodes": 4, "seeed": 1}})
+
+    def test_unknown_env_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown environment"):
+            normalize_request({"env_id": "Doom-v0"})
+
+    def test_non_integral_float_budget_rejected(self):
+        with pytest.raises(ProtocolError, match="expected an integer"):
+            normalize_request({"env_id": "Hopper-v0",
+                               "eval": {"episodes": 7.5}})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(ProtocolError, match="expected an integer"):
+            normalize_request({"env_id": "Hopper-v0",
+                               "eval": {"episodes": True}})
+
+    def test_budget_fields_on_budgetless_attack_rejected(self):
+        with pytest.raises(ProtocolError, match="not meaningful"):
+            normalize_request({"env_id": "Hopper-v0",
+                               "attack": {"kind": "random", "iterations": 3}})
+
+    def test_threat_none_with_attack_rejected(self):
+        with pytest.raises(ProtocolError, match="incompatible"):
+            normalize_request({"env_id": "Hopper-v0",
+                               "attack": {"kind": "random"},
+                               "threat": {"kind": "none"}})
+
+    def test_nonpositive_epsilon_rejected(self):
+        with pytest.raises(ProtocolError, match="must be > 0"):
+            normalize_request({"env_id": "Hopper-v0",
+                               "attack": {"kind": "random"},
+                               "threat": {"epsilon": 0.0}})
+
+
+class TestWireFormat:
+    @settings(deadline=None, max_examples=50)
+    @given(request=requests())
+    def test_roundtrip(self, request):
+        message = {"op": "submit", "id": "c1", "request": request}
+        assert decode_message(encode_message(message)) == message
+
+    def test_nan_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="unencodable"):
+            encode_message({"x": float("nan")})
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed JSON"):
+            decode_message(b"{not json}\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            decode_message(b"[1,2]\n")

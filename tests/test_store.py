@@ -329,3 +329,78 @@ class TestStoreGcCli:
         assert gc.main(["--store-dir", str(tmp_path / "store"),
                         "prune", "--keep-latest", "1", "--yes"]) == 0
         assert len(store) == 1
+
+
+# --- in-process blob LRU ------------------------------------------------
+
+
+class TestStoreBlobCache:
+    def _counters(self, telemetry) -> dict:
+        return {name: c for name, c in
+                telemetry.metrics.snapshot()["counters"].items()
+                if name.startswith("store.")}
+
+    def test_off_by_default_and_counters_still_track(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.in_memory()
+        store = ArtifactStore(tmp_path / "store", telemetry=telemetry)
+        assert store.cache_size == 0
+        store.put(SPEC, _state())
+        store.get(SPEC)
+        store.get(SPEC)
+        store.get({**SPEC, "seed": 99})  # never written
+        counters = self._counters(telemetry)
+        assert counters["store.hits"] == 2.0
+        assert counters["store.misses"] == 1.0
+        assert "store.memcache_hits" not in counters
+
+    def test_memcache_answers_repeat_gets(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.in_memory()
+        store = ArtifactStore(tmp_path / "store", telemetry=telemetry,
+                              cache_size=4)
+        store.put(SPEC, _state(2.5))
+        first, entry = store.get(SPEC)
+        # Delete the blob behind the store's back: a disk read would now
+        # miss, so a hit here proves the LRU answered from memory.
+        entry.path.unlink()
+        second, _ = store.get(SPEC)
+        np.testing.assert_array_equal(second["w"], first["w"])
+        counters = self._counters(telemetry)
+        assert counters["store.memcache_hits"] == 1.0
+        assert counters["store.hits"] == 2.0
+
+    def test_eviction_respects_bound(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", cache_size=2)
+        specs = [{**SPEC, "seed": i} for i in range(3)]
+        for i, spec in enumerate(specs):
+            store.put(spec, _state(float(i)))
+            store.get(spec)
+        assert len(store._cache) == 2
+        # seed=0 was evicted (oldest); its blob is gone -> real miss now.
+        entry0 = store.entry(specs[0])
+        entry0.path.unlink()
+        assert store.get(specs[0]) is None
+        # seed=2 is still resident and survives its blob's deletion.
+        store.entry(specs[2]).path.unlink()
+        assert store.get(specs[2]) is not None
+
+    def test_put_and_remove_invalidate(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", cache_size=4)
+        store.put(SPEC, _state(1.0))
+        store.get(SPEC)
+        store.put(SPEC, _state(7.0))  # legal re-put; cache must not serve 1.0
+        state, _ = store.get(SPEC)
+        np.testing.assert_array_equal(state["w"], np.full((3, 3), 7.0))
+        store.remove(store.key_for(canonicalize(SPEC)))
+        assert store.get(SPEC) is None
+
+    def test_returned_dict_is_a_fresh_copy(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", cache_size=4)
+        store.put(SPEC, _state())
+        first, _ = store.get(SPEC)
+        first.pop("w")  # mutating the returned *dict* must not poison the cache
+        second, _ = store.get(SPEC)
+        assert "w" in second

@@ -153,6 +153,55 @@ class TestJsonlEventSink:
         assert sink.payloads("a") == [{"seq": 0, "type": "a", "payload": {"x": 1}}]
         assert len(sink.payloads()) == 2
 
+    def test_concurrent_producers_never_tear_lines(self, tmp_path):
+        """Hammer one sink from many threads: every event lands exactly
+        once and no JSONL line is torn or interleaved (the serve worker
+        pool writes progress streams this way)."""
+        import threading
+
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, buffer_size=7)  # force mid-storm flushes
+        n_threads, per_thread = 8, 200
+
+        def hammer(tid: int) -> None:
+            for i in range(per_thread):
+                sink.emit({"type": "t", "payload": {"tid": tid, "i": i,
+                                                    "pad": "x" * 64}})
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sink.close()
+
+        # Parse raw lines, not read_jsonl: a torn line must fail loudly.
+        lines = path.read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert len(events) == n_threads * per_thread
+        seen = {(e["payload"]["tid"], e["payload"]["i"]) for e in events}
+        assert len(seen) == n_threads * per_thread
+
+    def test_concurrent_telemetry_seq_unique(self, tmp_path):
+        """Telemetry.event() from many threads: seq numbers never repeat."""
+        import threading
+
+        telemetry = Telemetry.in_memory()
+
+        def hammer() -> None:
+            for _ in range(300):
+                telemetry.event("tick")
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seqs = [e["seq"] for e in telemetry.sink.events]
+        assert len(seqs) == 6 * 300
+        assert len(set(seqs)) == len(seqs)
+
 
 # --- manifest -----------------------------------------------------------
 
