@@ -1,0 +1,164 @@
+"""Warm persistent pool vs spawn-per-job scheduling (PR 7).
+
+Runs the same deterministic job sweep through the two worker-lane
+backends of :func:`repro.runtime.run_parallel`:
+
+* **spawn** — the PR-4 supervised path: every job gets a freshly forked
+  worker process with its own heartbeat file, killed when the job ends.
+* **pool**  — a :class:`repro.runtime.WorkerPool` spawned once before
+  the measured window (the "warm" state a long sweep or the serve
+  daemon operates in) and reused for every job.
+
+Both lanes enforce identical watchdog semantics (timeouts, heartbeats,
+``error_kind`` taxonomy), so the delta is pure process-lifecycle
+overhead: fork + interpreter teardown per job versus a pipe send of the
+job's cached payload bytes.  The job bodies are seeded pure functions,
+and the bench asserts the two lanes return bit-identical values — the
+speedup carries no semantics caveat.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pool.py           # 32-job sweep
+    PYTHONPATH=src python benchmarks/bench_pool.py --quick   # CI smoke (8 jobs)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.runtime import Job, WorkerPool, run_parallel
+
+
+def bench_job(seed: int, size: int, repeats: int) -> np.ndarray:
+    """Deterministic stand-in for one experiment cell.
+
+    A seeded chain of matrix products — enough numpy work to look like a
+    small evaluation, small enough that process-lifecycle overhead stays
+    visible.  Pure function of its arguments, so both lanes must return
+    the same bits.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    state = rng.standard_normal((size, size))
+    step = rng.standard_normal((size, size)) / size
+    for _ in range(repeats):
+        state = np.tanh(state @ step)
+    return state[0].copy()
+
+
+def make_jobs(args: argparse.Namespace) -> list[Job]:
+    # Fresh Job objects per lane: cached payload bytes never leak between
+    # the measured runs.
+    return [Job(fn=bench_job, args=(args.seed + i, args.size, args.repeats),
+                name=f"bench:{i}", timeout=args.job_timeout)
+            for i in range(args.n_jobs)]
+
+
+def run(args: argparse.Namespace) -> dict:
+    # Lane 1: spawn-per-job.  The timeout routes the batch through the
+    # supervised scheduler, which forks one watchdogged process per job.
+    spawn_jobs = make_jobs(args)
+    start = time.perf_counter()
+    spawn_report = run_parallel(spawn_jobs, max_workers=args.workers,
+                                timeout=args.job_timeout)
+    spawn_seconds = time.perf_counter() - start
+    if spawn_report.n_failed:
+        raise RuntimeError(f"spawn lane failed: {spawn_report.summary()}")
+
+    # Lane 2: warm pool.  The warmup run pays worker spawn + first-dispatch
+    # costs outside the measured window, as a long-lived sweep would.
+    with WorkerPool(max_workers=args.workers) as pool:
+        warm_report = run_parallel(make_jobs(args), pool=pool)
+        if warm_report.n_failed:
+            raise RuntimeError(f"pool warmup failed: {warm_report.summary()}")
+        pool_jobs = make_jobs(args)
+        start = time.perf_counter()
+        pool_report = run_parallel(pool_jobs, pool=pool,
+                                   timeout=args.job_timeout)
+        pool_seconds = time.perf_counter() - start
+        replacements = pool.replacements
+    if pool_report.n_failed:
+        raise RuntimeError(f"pool lane failed: {pool_report.summary()}")
+
+    identical = all(
+        np.array_equal(s.value, p.value)
+        for s, p in zip(spawn_report.results, pool_report.results))
+
+    return {
+        "benchmark": "worker_pool_vs_spawn_per_job",
+        "config": {
+            "n_jobs": args.n_jobs, "workers": args.workers,
+            "size": args.size, "repeats": args.repeats,
+            "job_timeout": args.job_timeout, "seed": args.seed,
+            "quick": args.quick,
+        },
+        "spawn": {
+            "seconds": spawn_seconds,
+            "jobs_per_s": args.n_jobs / spawn_seconds,
+            "s_per_job": spawn_seconds / args.n_jobs,
+        },
+        "pool": {
+            "seconds": pool_seconds,
+            "jobs_per_s": args.n_jobs / pool_seconds,
+            "s_per_job": pool_seconds / args.n_jobs,
+            "worker_replacements": replacements,
+        },
+        "speedup": spawn_seconds / pool_seconds,
+        "identical_values": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-scale smoke run (8 jobs)")
+    parser.add_argument("--n-jobs", type=int, default=None,
+                        help="sweep size (default 32; 8 with --quick)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--size", type=int, default=96,
+                        help="job matrix dimension")
+    parser.add_argument("--repeats", type=int, default=10,
+                        help="matrix products per job (default 10; larger "
+                             "values shift the sweep from overhead-bound "
+                             "toward compute-bound)")
+    parser.add_argument("--job-timeout", type=float, default=120.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        metavar="X",
+                        help="regression gate: exit 1 if the warm pool is "
+                             "not at least X times the spawn-per-job lane "
+                             "(default 1.0: pool must not regress)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_pool.json")
+    args = parser.parse_args(argv)
+    args.n_jobs = args.n_jobs or (8 if args.quick else 32)
+
+    result = run(args)
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    spawn, pool = result["spawn"], result["pool"]
+    print(f"{args.n_jobs} jobs x (tanh({args.size}x{args.size} matmul) "
+          f"* {args.repeats}), {args.workers} workers")
+    print(f"spawn-per-job: {spawn['seconds']:.2f}s "
+          f"({1e3 * spawn['s_per_job']:.0f} ms/job)")
+    print(f"warm pool:     {pool['seconds']:.2f}s "
+          f"({1e3 * pool['s_per_job']:.0f} ms/job)  "
+          f"({result['speedup']:.2f}x)")
+    print(f"bit-identical values: {result['identical_values']}")
+    print(f"wrote {args.output}")
+    if not result["identical_values"]:
+        print("ERROR: pool lane values diverged from the spawn lane")
+        return 1
+    if result["speedup"] < args.min_speedup:
+        print(f"ERROR: warm pool speedup {result['speedup']:.2f}x below "
+              f"the {args.min_speedup:.2f}x gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

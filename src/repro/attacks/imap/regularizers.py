@@ -107,8 +107,13 @@ class PolicyCoverageRegularizer(IntrinsicRegularizer):
         self._union_vic = UnionStateBuffer(config.union_buffer_capacity, seed=config.seed + 1)
         # Amortized KNN indexes mirroring the union buffers, so compute()
         # never rebuilds the (up to 50k-state) B tree from scratch.
-        self._index_adv = IncrementalKnnIndex()
-        self._index_vic = IncrementalKnnIndex()
+        # background=True: the cKDTree construction triggered by
+        # after_update() runs on a worker thread and overlaps the next
+        # iteration's rollout collection; compute()'s query joins it, so
+        # bonuses stay bit-identical to the synchronous index (the
+        # double-buffer property suite in tests/test_density_index.py).
+        self._index_adv = IncrementalKnnIndex(background=True)
+        self._index_vic = IncrementalKnnIndex(background=True)
 
     def _bonus(self, features: np.ndarray, index: IncrementalKnnIndex) -> np.ndarray:
         fresh = IncrementalKnnIndex.over(features)
@@ -155,7 +160,7 @@ class PolicyCoverageRegularizer(IntrinsicRegularizer):
         self._union_vic.load_state_dict(state["union_vic"])
         for key, union, attr in (("index_adv", self._union_adv, "_index_adv"),
                                  ("index_vic", self._union_vic, "_index_vic")):
-            index = IncrementalKnnIndex()
+            index = IncrementalKnnIndex(background=True)
             if state.get(key) is not None:
                 index.load_state_dict(state[key])
             elif len(union):

@@ -40,7 +40,7 @@ import contextlib
 import os
 from pathlib import Path
 
-from ..runtime import Job, run_parallel
+from ..runtime import Job, WorkerPool, run_parallel
 from ..telemetry import MANIFEST_NAME, RunManifest, Telemetry, use_telemetry
 from .config import SCALES
 from .fig4 import run_fig4
@@ -80,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "overrunning experiment is killed and reported "
                              "as a timeout instead of stalling the sweep "
                              "(default: unbounded)")
+    parser.add_argument("--pool", action="store_true",
+                        help="run the sweep on a persistent worker pool "
+                             "(--jobs workers, spawned once and reused for "
+                             "every experiment and retry) instead of "
+                             "spawning a fresh process per job")
     parser.add_argument("--envs", nargs="*", default=None,
                         help="restrict single-agent experiments to these env ids")
     parser.add_argument("--games", nargs="*", default=None,
@@ -196,14 +201,19 @@ def main(argv: list[str] | None = None) -> int:
             # A --job-timeout also routes a sequential run through the
             # scheduler: the watchdog needs its own worker process to kill.
             if ((args.jobs > 1 and len(args.what) > 1)
-                    or args.job_timeout is not None):
+                    or args.job_timeout is not None or args.pool):
                 jobs = [Job(fn=run_experiment,
                             args=(what, args.scale, args.seed,
                                   args.envs, args.games, args.attacks),
                             name=what)
                         for what in args.what]
-                report = run_parallel(jobs, max_workers=args.jobs,
-                                      timeout=args.job_timeout)
+                with contextlib.ExitStack() as stack:
+                    pool = None
+                    if args.pool:
+                        pool = stack.enter_context(
+                            WorkerPool(max_workers=max(1, args.jobs)))
+                    report = run_parallel(jobs, max_workers=args.jobs,
+                                          timeout=args.job_timeout, pool=pool)
                 for what, result in zip(args.what, report.results):
                     print(f"\n##### {what} (scale={scale.name}) #####\n", flush=True)
                     if result.ok:

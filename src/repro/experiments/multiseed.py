@@ -73,15 +73,17 @@ def _train_and_evaluate_seed(env_id: str, victim: ActorCritic, attack: str,
 def train_best_of_seeds(env_id: str, victim: ActorCritic, attack: str,
                         scale: ExperimentScale, seeds: tuple[int, ...] = (0, 1, 2),
                         epsilon: float | None = None,
-                        max_workers: int = 1) -> MultiSeedOutcome:
+                        max_workers: int = 1, pool=None) -> MultiSeedOutcome:
     """Train ``attack`` with several seeds and keep the strongest one.
 
     ``max_workers > 1`` runs the seeds on a process pool; results come
     back in seed order, so best-seed selection matches the sequential
-    path exactly.
+    path exactly.  ``pool=`` (a :class:`~repro.runtime.WorkerPool`)
+    reuses persistent warm workers instead of spawning per sweep —
+    same results, no per-attack process-start tax across a grid.
     """
     outcome = MultiSeedOutcome(attack=attack)
-    if max_workers <= 1:
+    if max_workers <= 1 and pool is None:
         for seed in seeds:
             result, evaluation = _train_and_evaluate_seed(
                 env_id, victim, attack, scale, seed, epsilon)
@@ -94,7 +96,7 @@ def train_best_of_seeds(env_id: str, victim: ActorCritic, attack: str,
                 args=(env_id, victim, attack, scale, seed, epsilon),
                 name=f"{attack}@{env_id}/seed{seed}")
             for seed in seeds]
-    report = run_parallel(jobs, max_workers=max_workers)
+    report = run_parallel(jobs, max_workers=max_workers, pool=pool)
     for seed, job_result in zip(seeds, report.results):
         if not job_result.ok:
             outcome.errors.append(f"seed {seed}: {job_result.error}")

@@ -18,7 +18,9 @@ Layering (each layer usable on its own):
    can be killed individually when they hang, stall, or overrun.
 """
 
+from .async_vec_env import AsyncVectorEnv
 from .collector import collect_adversary_rollout_vec, knn_feature
+from .pool import WorkerPool
 from .scheduler import (
     ERROR_KINDS,
     Job,
@@ -28,13 +30,15 @@ from .scheduler import (
     derive_job_seeds,
     run_parallel,
 )
+from .shm import ShmArena, SlabSpec
 from .supervisor import Supervisor, WorkerCrash, WorkerTimeout, classify_exception
 from .vec_env import LANE_SEED_STRIDE, SyncVectorEnv, VectorEnv
 
 __all__ = [
-    "VectorEnv", "SyncVectorEnv", "LANE_SEED_STRIDE",
+    "VectorEnv", "SyncVectorEnv", "AsyncVectorEnv", "LANE_SEED_STRIDE",
+    "ShmArena", "SlabSpec",
     "collect_adversary_rollout_vec", "knn_feature",
     "Job", "JobResult", "ScheduleReport", "run_parallel", "derive_job_seeds",
-    "compute_backoff", "ERROR_KINDS",
+    "compute_backoff", "ERROR_KINDS", "WorkerPool",
     "Supervisor", "WorkerCrash", "WorkerTimeout", "classify_exception",
 ]

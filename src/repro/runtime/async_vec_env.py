@@ -1,0 +1,311 @@
+"""Asynchronous vectorized env: one process per lane, shared-memory arrays.
+
+:class:`AsyncVectorEnv` is the concurrent counterpart of
+:class:`~repro.runtime.vec_env.SyncVectorEnv`: each lane's env lives in
+its own worker process and steps while the other lanes step, so one
+batched ``act_batch`` forward in the parent serves lanes that are
+advancing truly in parallel.  The hot arrays — observations, actions,
+rewards, terminated/truncated flags — travel through a
+:class:`~repro.runtime.shm.ShmArena` slab per field: the parent writes
+the action batch into shared memory, broadcasts one tiny ``step``
+command per lane, and reads the observation batch back out of shared
+memory.  No array is ever pickled.  Per-step ``info`` dicts (episode
+metadata: ``final_obs``, ``victim_reward``, KNN features) are small and
+ride back on the command pipe.
+
+Bit-identity contract (asserted by the three-lane suite in
+``tests/test_determinism.py``): at matched seeds, ``reset``/``step``
+return bit-identical arrays and infos to ``SyncVectorEnv`` over the same
+lane envs — same lane seed stride, same auto-reset semantics, same
+``info["final_obs"]`` convention — so the vectorized collector and both
+trainers can swap one for the other without any numeric change.
+
+A lane worker that dies (crash, OOM kill, SIGKILL) surfaces as
+:class:`~repro.runtime.supervisor.WorkerCrash` on the next call; a lane
+env that *raises* has its exception re-raised in the parent after all
+lanes' acknowledgements drain, so the pipes never desynchronize.
+Cleanup is crash-proof: the arena file is unlinked right after every
+worker attaches (see :mod:`repro.runtime.shm`), so no shared-memory
+segment can outlive the processes no matter how they die.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..envs.core import Env
+from .shm import ShmArena, SlabSpec
+from .supervisor import WorkerCrash
+from .vec_env import LANE_SEED_STRIDE, VectorEnv
+
+__all__ = ["AsyncVectorEnv"]
+
+# How long close() waits for a worker to exit before escalating.
+_JOIN_GRACE = 2.0
+
+
+def _lane_worker(env: Env, lane: int, arena_path: str, slab_args, conn) -> None:
+    """Worker loop: attach the arena, ack, then serve commands until close.
+
+    Protocol (parent -> worker): ``("seed", s)``, ``("reset",)``,
+    ``("step",)``, ``("rng_states",)``, ``("set_rng_states", states)``,
+    ``("close",)``.  Every command is answered with ``("ok", payload)``
+    or ``("error", exception)`` — exactly one ack per command, so the
+    parent can always drain the pipe even when a lane fails.
+    """
+    arena = ShmArena.attach(arena_path, slab_args)
+    obs_v = arena.view("obs")
+    act_v = arena.view("actions")
+    rew_v = arena.view("rewards")
+    term_v = arena.view("terminated")
+    trunc_v = arena.view("truncated")
+    conn.send(("ok", None))  # attached: the parent may now unlink the arena
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break  # parent died; nothing to clean up but ourselves
+            cmd = msg[0]
+            if cmd == "close":
+                conn.send(("ok", None))
+                break
+            try:
+                if cmd == "seed":
+                    env.seed(msg[1])
+                    conn.send(("ok", None))
+                elif cmd == "reset":
+                    obs_v[lane] = env.reset()
+                    conn.send(("ok", None))
+                elif cmd == "step":
+                    obs, reward, term, trunc, info = env.step(act_v[lane].copy())
+                    if term or trunc:
+                        info = dict(info)
+                        info["final_obs"] = np.asarray(obs, dtype=np.float64).copy()
+                        obs = env.reset()
+                    obs_v[lane] = obs
+                    rew_v[lane] = reward
+                    term_v[lane] = bool(term)
+                    trunc_v[lane] = bool(trunc)
+                    conn.send(("ok", info))
+                elif cmd == "rng_states":
+                    from ..store.checkpoint import capture_rng_states
+
+                    conn.send(("ok", capture_rng_states(env)))
+                elif cmd == "set_rng_states":
+                    from ..store.checkpoint import restore_rng_states
+
+                    restore_rng_states(env, msg[1])
+                    conn.send(("ok", None))
+                else:
+                    conn.send(("error", RuntimeError(f"unknown command {cmd!r}")))
+            except Exception as exc:  # noqa: BLE001 — must ack to stay in sync
+                try:
+                    conn.send(("error", exc))
+                except Exception:  # exception object itself unpicklable
+                    conn.send(("error",
+                               RuntimeError(f"{type(exc).__name__}: {exc}")))
+    finally:
+        del obs_v, act_v, rew_v, term_v, trunc_v
+        arena.close()
+        conn.close()
+
+
+class AsyncVectorEnv(VectorEnv):
+    """Process-per-lane vectorization over shared-memory batch arrays."""
+
+    def __init__(self, envs: Sequence[Env | Callable[[], Env]], mp_context=None):
+        if not envs:
+            raise ValueError("AsyncVectorEnv needs at least one env")
+        lanes: list[Env] = [e() if callable(e) else e for e in envs]
+        self.num_envs = len(lanes)
+        self.observation_space = lanes[0].observation_space
+        self.action_space = lanes[0].action_space
+        for env in lanes[1:]:
+            if env.observation_space.shape != self.observation_space.shape:
+                raise ValueError("all lanes must share an observation space")
+            if env.action_space.shape != self.action_space.shape:
+                raise ValueError("all lanes must share an action space")
+        if isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        ctx = mp_context or multiprocessing.get_context()
+
+        n = self.num_envs
+        self._arena = ShmArena.create([
+            SlabSpec("obs", (n,) + self.observation_space.shape),
+            SlabSpec("actions", (n,) + self.action_space.shape),
+            SlabSpec("rewards", (n,)),
+            SlabSpec("terminated", (n,), "uint8"),
+            SlabSpec("truncated", (n,), "uint8"),
+        ])
+        self._obs = self._arena.view("obs")
+        self._actions = self._arena.view("actions")
+        self._rewards = self._arena.view("rewards")
+        self._terminated = self._arena.view("terminated")
+        self._truncated = self._arena.view("truncated")
+
+        self._conns = []
+        self._procs = []
+        spec_args = self._arena.spec_args()
+        for i, env in enumerate(lanes):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_lane_worker,
+                args=(env, i, self._arena.path, spec_args, child_conn),
+                daemon=False,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+        self._closed = False
+        try:
+            self._gather()  # every worker attached …
+        except BaseException:
+            self._shutdown(self._procs, self._conns)
+            self._arena.close()
+            raise
+        self._arena.unlink()  # … so the segment's name can go away now
+        # Safety net: worker processes must not outlive a GC'd parent env.
+        self._finalizer = weakref.finalize(
+            self, AsyncVectorEnv._shutdown, list(self._procs), list(self._conns))
+
+    @classmethod
+    def from_factory(cls, factory: Callable[[], Env], n_envs: int,
+                     mp_context=None) -> "AsyncVectorEnv":
+        return cls([factory() for _ in range(n_envs)], mp_context=mp_context)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _gather(self) -> list:
+        """One ack per lane, in lane order; raise the first failure *after*
+        draining every pipe so a lane error never desynchronizes the rest."""
+        payloads: list = [None] * self.num_envs
+        errors: list[tuple[int, BaseException]] = []
+        for i, conn in enumerate(self._conns):
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                self._procs[i].join(_JOIN_GRACE)
+                errors.append((i, WorkerCrash(
+                    f"async env lane {i} worker died (exit code "
+                    f"{self._procs[i].exitcode}) before acknowledging")))
+                continue
+            if status == "error":
+                errors.append((i, payload))
+            else:
+                payloads[i] = payload
+        if errors:
+            raise errors[0][1]
+        return payloads
+
+    def _broadcast(self, msg: tuple) -> list:
+        if self._closed:
+            raise ValueError("AsyncVectorEnv is closed")
+        crashed = []
+        for i, conn in enumerate(self._conns):
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                crashed.append(i)
+        if crashed:
+            i = crashed[0]
+            self._procs[i].join(_JOIN_GRACE)
+            raise WorkerCrash(
+                f"async env lane {i} worker died (exit code "
+                f"{self._procs[i].exitcode}); cannot dispatch {msg[0]!r}")
+        return self._gather()
+
+    # ------------------------------------------------------------------ api
+
+    def seed(self, seed: int | None) -> None:
+        if self._closed:
+            raise ValueError("AsyncVectorEnv is closed")
+        for i, conn in enumerate(self._conns):
+            conn.send(("seed",
+                       None if seed is None else seed + LANE_SEED_STRIDE * i))
+        self._gather()
+
+    def reset(self, seed: int | None = None) -> np.ndarray:
+        if seed is not None:
+            self.seed(seed)
+        self._broadcast(("reset",))
+        return self._obs.copy()
+
+    def step(self, actions: np.ndarray):
+        actions = np.asarray(actions)
+        if len(actions) != self.num_envs:
+            raise ValueError(f"expected {self.num_envs} actions, got {len(actions)}")
+        self._actions[...] = actions
+        infos = self._broadcast(("step",))
+        return (self._obs.copy(), self._rewards.copy(),
+                self._terminated.astype(bool), self._truncated.astype(bool),
+                infos)
+
+    # ------------------------------------------------------------ rng state
+
+    def rng_states(self) -> dict[str, dict]:
+        """Per-lane RNG bit-generator states, keyed ``lanes[i].<path>``.
+
+        Mirrors :func:`repro.store.checkpoint.capture_rng_states` for the
+        in-process case — each worker captures its env's generator graph
+        locally and the parent prefixes the lane index, so checkpoints
+        taken with an async env restore bit-identically.
+        """
+        states: dict[str, dict] = {}
+        for i, lane_states in enumerate(self._broadcast(("rng_states",))):
+            for path, state in lane_states.items():
+                states[f"lanes[{i}].{path}"] = state
+        return states
+
+    def set_rng_states(self, states: dict[str, dict]) -> None:
+        per_lane: list[dict] = [{} for _ in range(self.num_envs)]
+        for key, state in states.items():
+            if not key.startswith("lanes["):
+                raise KeyError(f"not an AsyncVectorEnv rng path: {key!r}")
+            lane_s, _, path = key[len("lanes["):].partition("].")
+            per_lane[int(lane_s)][path] = state
+        if self._closed:
+            raise ValueError("AsyncVectorEnv is closed")
+        for i, conn in enumerate(self._conns):
+            conn.send(("set_rng_states", per_lane[i]))
+        self._gather()
+
+    # ------------------------------------------------------------- shutdown
+
+    def close(self) -> None:
+        """Stop every worker and release the arena.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except Exception:
+                pass  # already dead
+        self._shutdown(self._procs, self._conns)
+        # Drop our views before unmapping so close() can free the pages.
+        del self._obs, self._actions, self._rewards
+        del self._terminated, self._truncated
+        self._arena.close()
+
+    @staticmethod
+    def _shutdown(procs, conns) -> None:
+        for process in procs:
+            process.join(_JOIN_GRACE)
+            if process.is_alive():
+                process.terminate()
+                process.join(_JOIN_GRACE)
+            if process.is_alive():
+                process.kill()
+                process.join(_JOIN_GRACE)
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass

@@ -38,6 +38,7 @@ as a ``seed=`` keyword argument.
 from __future__ import annotations
 
 import dataclasses
+import pickle
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -115,6 +116,29 @@ class Job:
     # timeout= for this job.  Any timeout routes the batch through the
     # watchdog supervisor (per-job worker processes, kill on expiry).
     timeout: float | None = None
+    # Serialized form of this job, filled lazily by payload() and reused
+    # verbatim by every retry/requeue — the fix for re-pickling a large
+    # policy once per attempt.  Never pickled itself (see __getstate__).
+    _payload: bytes | None = field(default=None, init=False, repr=False,
+                                   compare=False)
+
+    def payload(self) -> bytes:
+        """This job's pickle, serialized exactly once and cached.
+
+        The executor and pool paths ship ``payload()`` bytes instead of
+        the job object, so requeues and retries of the same job never
+        re-serialize its (possibly policy-sized) arguments.
+        """
+        if self._payload is None:
+            self._payload = pickle.dumps(self)
+        return self._payload
+
+    def __getstate__(self):
+        # The payload *is* this object's pickle: dropping it keeps the
+        # serialized form minimal and non-recursive.
+        state = self.__dict__.copy()
+        state["_payload"] = None
+        return state
 
 
 @dataclass
@@ -210,6 +234,18 @@ def _execute_job(job: Job) -> JobResult:
                          error_kind=classify_exception(exc))
 
 
+def _execute_payload(payload: bytes) -> JobResult:
+    """Worker-side entry: unpickle a cached job payload and execute it."""
+    try:
+        job = pickle.loads(payload)
+    except Exception as exc:  # corrupted/undeserializable payload
+        return JobResult(name="", ok=False,
+                         error=f"{type(exc).__name__}: {exc}",
+                         traceback=traceback.format_exc(),
+                         error_kind="pickling")
+    return _execute_job(job)
+
+
 def _record_schedule(telemetry, report: ScheduleReport) -> None:
     """Per-attempt events + per-job crash records, in deterministic order.
 
@@ -292,7 +328,9 @@ def _run_batch(jobs: list[Job], max_workers: int, mp_context,
         futures = {}
         for i, job in enumerate(jobs):
             try:
-                futures[pool.submit(_execute_job, job)] = i
+                # Ship the cached payload, not the job: a retried job is
+                # serialized once for its whole lifetime, not per attempt.
+                futures[pool.submit(_execute_payload, job.payload())] = i
             except Exception as exc:  # unpicklable job, pool already broken, ...
                 results[i] = JobResult(name=job.name, ok=False,
                                        error=f"{type(exc).__name__}: {exc}",
@@ -317,7 +355,8 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
                  deadline: float | None = None,
                  heartbeat_timeout: float | None = None,
                  retry_backoff: float = 0.0,
-                 backoff_seed: int = 0) -> ScheduleReport:
+                 backoff_seed: int = 0,
+                 pool=None) -> ScheduleReport:
     """Execute ``jobs`` and return per-job results in submission order.
 
     ``max_workers <= 1`` (or a single job) runs inline — no processes, no
@@ -351,14 +390,22 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
       ``DEGRADE_AFTER_POOL_BREAKS`` breakages the sweep degrades to
       inline serial execution with a telemetry warning rather than
       failing.
+    * ``pool=`` (a :class:`~repro.runtime.pool.WorkerPool`) runs every
+      batch on persistent, already-warm worker processes instead of
+      spawning per attempt; the pool enforces the same ``timeout`` /
+      ``deadline`` / ``heartbeat_timeout`` watchdog semantics itself and
+      replaces dead workers in place, so ``pool_broken`` never occurs.
+      Job payloads are serialized once (``Job.payload``) and reshipped
+      as bytes on retries.
     """
     jobs = list(jobs)
     telemetry = telemetry if telemetry is not None else current_telemetry()
     start = time.perf_counter()
     prepared = _prepare_jobs(jobs, checkpoint_dir, checkpoint_every)
-    supervised = (timeout is not None or deadline is not None
-                  or heartbeat_timeout is not None
-                  or any(job.timeout is not None for job in prepared))
+    supervised = (pool is None
+                  and (timeout is not None or deadline is not None
+                       or heartbeat_timeout is not None
+                       or any(job.timeout is not None for job in prepared)))
     pool_breaks = 0
     degraded = False
     interventions: list[dict] = []
@@ -370,6 +417,12 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
         return max(0.0, deadline - (time.perf_counter() - start))
 
     def run_batch(subset: list[Job], requeue: bool = False) -> list[JobResult]:
+        if pool is not None:
+            batch, acts = pool.run(subset, timeout=timeout,
+                                   deadline=deadline_left(),
+                                   heartbeat_timeout=heartbeat_timeout)
+            interventions.extend(acts)
+            return batch
         if supervised:
             batch, acts = run_supervised(
                 subset, max_workers=1 if degraded else max_workers,
@@ -390,7 +443,7 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
     # (free — the job may never have run), degrading to inline after
     # repeated breakage.  Only the pool path can break a pool.
     rebuilds = 0
-    while not supervised and rebuilds < MAX_POOL_REBUILDS:
+    while pool is None and not supervised and rebuilds < MAX_POOL_REBUILDS:
         broken = [i for i, r in enumerate(results)
                   if not r.ok and r.error_kind == "pool_broken"]
         if not broken:
@@ -422,9 +475,11 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
         pending = [i for i in pending if not results[i].ok]
     for i, result in enumerate(results):
         result.attempts = attempts[i]
+    effective_workers = (pool.max_workers if pool is not None
+                         else 1 if max_workers <= 1 else max_workers)
     report = ScheduleReport(results=results,
                             wall_clock=time.perf_counter() - start,
-                            max_workers=1 if max_workers <= 1 else max_workers,
+                            max_workers=effective_workers,
                             retried=retried, degraded=degraded,
                             interventions=interventions)
     if telemetry is not None:

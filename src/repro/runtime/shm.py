@@ -1,0 +1,187 @@
+"""File-backed shared-memory slab arenas for zero-copy IPC.
+
+:class:`ShmArena` maps one file (in ``/dev/shm`` when available, so the
+"file" never touches a disk) into every process that needs it and hands
+out NumPy array views over named, 64-byte-aligned **slabs** inside the
+mapping.  A producer writes into its slab rows; consumers see the bytes
+immediately — no pickling, no pipes, no copies.
+
+Ownership contract (enforced by the async vector env and documented in
+DESIGN.md):
+
+* The **parent** creates the arena (:meth:`ShmArena.create`) and is the
+  only process that ever unlinks it.
+* **Workers** attach by path (:meth:`ShmArena.attach`) and acknowledge;
+  once every worker has attached, the parent calls :meth:`unlink` so the
+  name disappears from the filesystem while the shared mapping lives on.
+  From that point no crash — worker *or* parent, graceful or SIGKILL —
+  can leak a segment: the kernel frees the pages when the last mapping
+  goes away.
+* :meth:`close` is idempotent and also unlinks (owner side) in case the
+  attach handshake never completed.
+
+This deliberately avoids :mod:`multiprocessing.shared_memory`: its
+resource tracker is a third process with its own lifetime and produces
+spurious leak warnings when workers are SIGKILLed, which the chaos
+battery would trip over.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import tempfile
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SlabSpec", "ShmArena", "default_shm_dir"]
+
+# Slabs start on cache-line boundaries so lanes writing adjacent slabs
+# never share a line with another slab's hot rows.
+_ALIGN = 64
+
+
+def default_shm_dir() -> str:
+    """``/dev/shm`` when writable (Linux ramdisk), else the tempdir."""
+    if os.path.isdir("/dev/shm") and os.access("/dev/shm", os.W_OK):
+        return "/dev/shm"
+    return tempfile.gettempdir()
+
+
+@dataclass(frozen=True)
+class SlabSpec:
+    """One named array region: ``name``, ``shape``, numpy ``dtype`` string."""
+
+    name: str
+    shape: tuple
+    dtype: str = "float64"
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+def _layout(slabs: tuple[SlabSpec, ...]) -> tuple[dict[str, int], int]:
+    """Deterministic (offset table, total size) for a slab sequence."""
+    offsets: dict[str, int] = {}
+    cursor = 0
+    for spec in slabs:
+        if spec.name in offsets:
+            raise ValueError(f"duplicate slab name {spec.name!r}")
+        offsets[spec.name] = cursor
+        cursor += -(-spec.nbytes // _ALIGN) * _ALIGN  # round up to alignment
+    return offsets, max(cursor, _ALIGN)
+
+
+class ShmArena:
+    """A shared mapping carved into named, aligned numpy-viewable slabs."""
+
+    def __init__(self, path: str, slabs: tuple[SlabSpec, ...], mm: mmap.mmap,
+                 owner: bool):
+        self.path = path
+        self.slabs = slabs
+        self._offsets, self.nbytes = _layout(slabs)
+        self._mm: mmap.mmap | None = mm
+        self._owner = owner
+        self._unlinked = False
+        # Crash safety: if the owner is garbage collected (or the
+        # interpreter exits) before close(), the name still disappears.
+        if owner:
+            self._finalizer = weakref.finalize(self, ShmArena._unlink_path, path)
+        else:
+            self._finalizer = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    @classmethod
+    def create(cls, slabs, dir: str | None = None) -> "ShmArena":
+        """Allocate a zero-filled arena; the caller owns (and unlinks) it."""
+        slabs = tuple(slabs)
+        _, total = _layout(slabs)
+        fd, path = tempfile.mkstemp(prefix="repro-shm-", dir=dir or default_shm_dir())
+        try:
+            os.ftruncate(fd, total)
+            mm = mmap.mmap(fd, total)
+        except BaseException:
+            os.close(fd)
+            os.unlink(path)
+            raise
+        os.close(fd)
+        return cls(path, slabs, mm, owner=True)
+
+    @classmethod
+    def attach(cls, path: str, slabs) -> "ShmArena":
+        """Map an existing arena by path (worker side; never unlinks)."""
+        slabs = tuple(SlabSpec(*s) if not isinstance(s, SlabSpec) else s
+                      for s in slabs)
+        _, total = _layout(slabs)
+        fd = os.open(path, os.O_RDWR)
+        try:
+            mm = mmap.mmap(fd, total)
+        finally:
+            os.close(fd)
+        return cls(path, slabs, mm, owner=False)
+
+    def unlink(self) -> None:
+        """Remove the filesystem name (owner only; idempotent).
+
+        Existing mappings — the parent's and every attached worker's —
+        stay valid; the kernel reclaims the pages when the last one dies.
+        """
+        if self._unlinked or not self._owner:
+            return
+        self._unlinked = True
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        self._unlink_path(self.path)
+
+    def close(self) -> None:
+        """Unlink (owner) and drop this process's mapping.  Idempotent."""
+        self.unlink()
+        mm, self._mm = self._mm, None
+        if mm is not None:
+            try:
+                mm.close()
+            except BufferError:
+                # numpy views still alive somewhere; the mapping is freed
+                # when they are collected.  Nothing leaks either way: the
+                # name is already gone.
+                pass
+
+    @staticmethod
+    def _unlink_path(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # ----------------------------------------------------------------- views
+
+    def view(self, name: str) -> np.ndarray:
+        """Writable array over slab ``name`` — shared, not a copy."""
+        if self._mm is None:
+            raise ValueError("arena is closed")
+        spec = next(s for s in self.slabs if s.name == name)
+        flat = np.frombuffer(self._mm, dtype=np.dtype(spec.dtype),
+                             count=int(np.prod(spec.shape, dtype=np.int64)),
+                             offset=self._offsets[name])
+        return flat.reshape(spec.shape)
+
+    # ------------------------------------------------------------------ misc
+
+    def spec_args(self) -> list[tuple]:
+        """Picklable ``(name, shape, dtype)`` tuples for :meth:`attach`."""
+        return [(s.name, s.shape, s.dtype) for s in self.slabs]
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._mm is None else f"{self.nbytes}B"
+        return (f"<ShmArena {os.path.basename(self.path)} "
+                f"slabs={[s.name for s in self.slabs]} {state}>")

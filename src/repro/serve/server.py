@@ -153,6 +153,7 @@ async def serve_forever(service: EvalService, socket_path: str | Path,
             if handlers:
                 await asyncio.wait(list(handlers), timeout=10.0)
     finally:
+        service.close()  # stop the persistent worker-lane pool
         with contextlib.suppress(OSError):
             socket_path.unlink()
 

@@ -14,9 +14,11 @@ One submission flows through four layers:
    produce bit-identical results (both run the canonical batched
    evaluator): the *inline* lane evaluates warm, training-free requests
    in-process with micro-batched forward passes; everything that needs
-   training (or fault injection) goes to a supervised worker process via
+   training (or fault injection) goes to a persistent
+   :class:`~repro.runtime.pool.WorkerPool` worker via
    :func:`~repro.runtime.scheduler.run_parallel` — deadline kills,
-   retries, and the ``error_kind`` taxonomy included.
+   retries, and the ``error_kind`` taxonomy included, without paying a
+   process spawn per request.
 4. **Stream** — lifecycle events (``queued → cached | coalesced |
    scheduled → progress* → result | error``) are pushed to the caller's
    ``on_event`` callback; worker-lane progress is tailed from the
@@ -28,6 +30,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -35,6 +38,7 @@ from pathlib import Path
 from ..attacks import RandomAttackPolicy
 from ..envs import make
 from ..rl.policy import ActorCritic
+from ..runtime.pool import WorkerPool
 from ..runtime.scheduler import Job, run_parallel
 from ..runtime.supervisor import classify_exception
 from ..store import ArtifactStore, spec_key
@@ -67,6 +71,13 @@ class ServeConfig:
     policy_cache_size: int = 8
     # Honor the request's "fault" section (chaos tests/CI only).
     allow_fault_injection: bool = False
+    # Keep a persistent WorkerPool for the worker lane instead of
+    # spawning a fresh supervised process per job: the pool workers are
+    # created once (lazily, on the first scheduled job) and reused, so a
+    # busy service pays the interpreter/import start-up tax max_workers
+    # times total rather than once per request.  Watchdog semantics
+    # (job_timeout, heartbeats, error_kind taxonomy) are identical.
+    persistent_pool: bool = True
     # Worker progress files are polled at this interval (seconds).
     progress_poll: float = 0.05
 
@@ -93,6 +104,28 @@ class EvalService:
         self._worker_slots = asyncio.Semaphore(max(1, self.config.max_workers))
         self._policies: OrderedDict[str, ActorCritic] = OrderedDict()
         self._probe_dims: dict[str, tuple[int, int]] = {}
+        # Persistent worker-lane pool: created lazily by the first
+        # scheduled job (inline-only workloads never fork a worker),
+        # shared by every subsequent one.  Guarded by a lock because
+        # _schedule runs run_parallel on asyncio worker threads.
+        self._pool: WorkerPool | None = None
+        self._pool_guard = threading.Lock()
+
+    def _worker_pool(self) -> WorkerPool | None:
+        if not self.config.persistent_pool:
+            return None
+        with self._pool_guard:
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    max_workers=max(1, self.config.max_workers))
+            return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; the server calls this)."""
+        with self._pool_guard:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
 
     # -------------------------------------------------------------- metrics
 
@@ -298,7 +331,8 @@ class EvalService:
                     run_parallel, [job], max_workers=1,
                     retries=self.config.retries,
                     retry_backoff=self.config.retry_backoff,
-                    telemetry=self.telemetry)
+                    telemetry=self.telemetry,
+                    pool=self._worker_pool())
             finally:
                 tail.cancel()
                 with contextlib.suppress(asyncio.CancelledError):

@@ -1,0 +1,275 @@
+"""AsyncVectorEnv unit battery: protocol, parity, faults, cleanup.
+
+The trainer-level three-lane determinism suite lives in
+``tests/test_determinism.py``; this file pins the vector-env mechanics:
+step/reset/info parity with ``SyncVectorEnv``, lane-exception
+propagation without pipe desync, ``WorkerCrash`` on a killed lane,
+remote RNG checkpointing, and shared-memory hygiene.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import envs
+from repro.attacks import StatePerturbationEnv
+from repro.envs.core import Env
+from repro.envs.spaces import Box
+from repro.rl import TrainConfig, train_ppo
+from repro.runtime import AsyncVectorEnv, SyncVectorEnv
+from repro.runtime.shm import default_shm_dir
+from repro.runtime.supervisor import WorkerCrash
+from repro.runtime.vec_env import LANE_SEED_STRIDE
+from repro.store.checkpoint import capture_rng_states, restore_rng_states
+
+EPISODE_LEN = 5
+
+
+class ScriptedEnv(Env):
+    """Deterministic fixed-length episodes with info metadata."""
+
+    def __init__(self, ends_with: str = "terminated"):
+        super().__init__()
+        self.observation_space = Box(-np.inf, np.inf, (3,))
+        self.action_space = Box(-1.0, 1.0, (2,))
+        self.ends_with = ends_with
+        self._t = 0
+
+    def _reset(self) -> np.ndarray:
+        self._t = 0
+        return np.zeros(3)
+
+    def step(self, action):
+        self._t += 1
+        obs = np.full(3, float(self._t))
+        ends = self._t >= EPISODE_LEN
+        terminated = ends and self.ends_with == "terminated"
+        truncated = ends and self.ends_with == "truncated"
+        info = {"success": ends, "victim_reward": 2.0}
+        return obs, 1.0, terminated, truncated, info
+
+
+class FaultyEnv(ScriptedEnv):
+    """Raises at a specific step; used for lane-exception propagation."""
+
+    def __init__(self, raise_at: int):
+        super().__init__()
+        self.raise_at = raise_at
+
+    def step(self, action):
+        if self._t + 1 == self.raise_at:
+            raise ValueError(f"injected lane fault at step {self.raise_at}")
+        return super().step(action)
+
+
+def _shm_segments() -> list[Path]:
+    return sorted(Path(default_shm_dir()).glob("repro-shm-*"))
+
+
+@pytest.fixture(scope="module")
+def small_victim():
+    result = train_ppo(envs.make("Hopper-v0"),
+                       TrainConfig(iterations=1, steps_per_iteration=256, seed=0))
+    result.policy.freeze_normalizer()
+    return result.policy
+
+
+def _rollout(vec, steps: int, seed: int = 0):
+    """Deterministic action script through a vector env; returns a trace."""
+    rng = np.random.default_rng(seed)
+    trace = [vec.reset(seed=seed)]
+    infos_trace = []
+    for _ in range(steps):
+        actions = rng.uniform(-1.0, 1.0,
+                              size=(len(vec),) + vec.action_space.shape)
+        obs, rewards, term, trunc, infos = vec.step(actions)
+        trace.extend([obs, rewards, term, trunc])
+        infos_trace.append(infos)
+    return trace, infos_trace
+
+
+class TestAsyncSyncParity:
+    @pytest.mark.parametrize("ends_with", ["terminated", "truncated"])
+    def test_scripted_env_bit_identical(self, ends_with):
+        sync = SyncVectorEnv([ScriptedEnv(ends_with) for _ in range(3)])
+        vec = AsyncVectorEnv([ScriptedEnv(ends_with) for _ in range(3)])
+        try:
+            sync_trace, sync_infos = _rollout(sync, 2 * EPISODE_LEN + 1)
+            async_trace, async_infos = _rollout(vec, 2 * EPISODE_LEN + 1)
+        finally:
+            vec.close()
+        for s, a in zip(sync_trace, async_trace):
+            np.testing.assert_array_equal(s, a)
+        # Info parity, including the final_obs auto-reset convention.
+        for s_step, a_step in zip(sync_infos, async_infos):
+            for s_info, a_info in zip(s_step, a_step):
+                assert sorted(s_info) == sorted(a_info)
+                for key, value in s_info.items():
+                    if isinstance(value, np.ndarray):
+                        np.testing.assert_array_equal(value, a_info[key])
+                    else:
+                        assert a_info[key] == value
+
+    def test_hopper_adversary_bit_identical(self, small_victim):
+        def lanes():
+            return [StatePerturbationEnv(envs.make("Hopper-v0"), small_victim,
+                                         epsilon=0.6)
+                    for _ in range(2)]
+
+        sync = SyncVectorEnv(lanes())
+        vec = AsyncVectorEnv(lanes())
+        try:
+            sync_trace, sync_infos = _rollout(sync, 40, seed=11)
+            async_trace, async_infos = _rollout(vec, 40, seed=11)
+        finally:
+            vec.close()
+        for s, a in zip(sync_trace, async_trace):
+            np.testing.assert_array_equal(s, a)
+        for s_step, a_step in zip(sync_infos, async_infos):
+            for s_info, a_info in zip(s_step, a_step):
+                assert sorted(s_info) == sorted(a_info)
+
+    def test_seed_applies_lane_stride(self):
+        single = ScriptedEnv()
+        single.seed(123 + LANE_SEED_STRIDE)
+        vec = AsyncVectorEnv([ScriptedEnv(), ScriptedEnv()])
+        try:
+            vec.seed(123)
+            states = vec.rng_states()
+        finally:
+            vec.close()
+        lane1 = {key[len("lanes[1]."):]: value for key, value in states.items()
+                 if key.startswith("lanes[1].")}
+        assert lane1 == capture_rng_states(single)
+
+
+class TestAsyncFaults:
+    def test_lane_exception_propagates_and_lanes_stay_in_sync(self):
+        vec = AsyncVectorEnv([ScriptedEnv(), FaultyEnv(raise_at=3)])
+        try:
+            vec.reset(seed=0)
+            actions = np.zeros((2, 2))
+            vec.step(actions)
+            vec.step(actions)
+            with pytest.raises(ValueError, match="injected lane fault"):
+                vec.step(actions)
+            # The pipes drained cleanly: the healthy lane still answers.
+            states = vec.rng_states()
+            assert any(key.startswith("lanes[0]") for key in states)
+        finally:
+            vec.close()
+
+    def test_killed_lane_surfaces_as_worker_crash(self):
+        vec = AsyncVectorEnv([ScriptedEnv(), ScriptedEnv()])
+        try:
+            vec.reset(seed=0)
+            os.kill(vec._procs[1].pid, signal.SIGKILL)
+            vec._procs[1].join(5.0)
+            with pytest.raises(WorkerCrash):
+                vec.step(np.zeros((2, 2)))
+        finally:
+            vec.close()
+
+    def test_mismatched_spaces_rejected(self):
+        class OtherEnv(ScriptedEnv):
+            def __init__(self):
+                super().__init__()
+                self.observation_space = Box(-np.inf, np.inf, (4,))
+
+        with pytest.raises(ValueError):
+            AsyncVectorEnv([ScriptedEnv(), OtherEnv()])
+        assert _shm_segments() == []  # failed init leaves no segment
+
+
+class TestAsyncRngCheckpoint:
+    def test_rng_states_roundtrip_bit_identical(self, small_victim):
+        def lanes():
+            return [StatePerturbationEnv(envs.make("Hopper-v0"), small_victim,
+                                         epsilon=0.6)
+                    for _ in range(2)]
+
+        vec = AsyncVectorEnv(lanes())
+        try:
+            vec.reset(seed=5)
+            rng = np.random.default_rng(0)
+            acts = rng.uniform(-1, 1, size=(2,) + vec.action_space.shape)
+            vec.step(acts)
+            # capture_rng_states must take the remote path (duck-typed):
+            # the generators live in the lane worker processes.
+            states = capture_rng_states(vec)
+            assert states and all(key.startswith("lanes[") for key in states)
+            vec.step(acts)  # advances every lane generator
+            assert capture_rng_states(vec) != states
+            restore_rng_states(vec, states)
+            assert capture_rng_states(vec) == states  # exact rewind
+        finally:
+            vec.close()
+
+    def test_sync_and_async_expose_identical_rng_graphs(self, small_victim):
+        def lanes():
+            return [StatePerturbationEnv(envs.make("Hopper-v0"), small_victim,
+                                         epsilon=0.6)
+                    for _ in range(2)]
+
+        sync = SyncVectorEnv(lanes())
+        vec = AsyncVectorEnv(lanes())
+        try:
+            sync.reset(seed=5)
+            vec.reset(seed=5)
+            sync_states = capture_rng_states(sync)
+            async_states = capture_rng_states(vec)
+        finally:
+            vec.close()
+        # Same per-lane generator graph, same bit-generator states: a
+        # checkpoint's RNG section is backend-portable.  Sync walks the
+        # in-process graph (keys "envs[i].path"); async asks the workers
+        # (keys "lanes[i].path").
+        renamed = {"lanes" + key[len("envs"):]: value
+                   for key, value in sync_states.items()}
+        assert renamed == async_states
+
+
+class TestAsyncCleanup:
+    def test_no_shm_segment_while_running_or_after_close(self):
+        vec = AsyncVectorEnv([ScriptedEnv(), ScriptedEnv()])
+        try:
+            # The arena file is unlinked as soon as every lane attaches:
+            # even SIGKILL against everything cannot leak a segment.
+            assert _shm_segments() == []
+            vec.reset(seed=0)
+        finally:
+            vec.close()
+        assert _shm_segments() == []
+        assert all(not p.is_alive() for p in vec._procs)
+
+    def test_close_is_idempotent(self):
+        vec = AsyncVectorEnv([ScriptedEnv()])
+        vec.reset(seed=0)
+        vec.close()
+        vec.close()
+
+    def test_cleanup_survives_sigkilled_lanes(self):
+        vec = AsyncVectorEnv([ScriptedEnv(), ScriptedEnv()])
+        vec.reset(seed=0)
+        for proc in vec._procs:
+            os.kill(proc.pid, signal.SIGKILL)
+        deadline = time.monotonic() + 5.0
+        while (any(p.is_alive() for p in vec._procs)
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        vec.close()  # reaps the corpses without raising
+        assert _shm_segments() == []
+
+    def test_from_factory(self):
+        vec = AsyncVectorEnv.from_factory(ScriptedEnv, 3)
+        try:
+            assert len(vec) == vec.num_envs == 3
+            assert vec.reset(seed=0).shape == (3, 3)
+        finally:
+            vec.close()

@@ -26,6 +26,7 @@ import pickle
 import signal
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -51,6 +52,7 @@ from repro.rl import (
 from repro.runtime import (
     ERROR_KINDS,
     Job,
+    WorkerPool,
     compute_backoff,
     classify_exception,
     run_parallel,
@@ -462,3 +464,79 @@ class TestStoreCorruption:
         store = ArtifactStore(tmp_path / "store")
         with pytest.raises(FileNotFoundError):
             truncate_blob(store, "0" * 64)
+
+
+# ---------------------------------------------------- persistent pool chaos
+
+def _rollout_job(seed=7):
+    """Deterministic mini-rollout: real env stepping inside the worker."""
+    env = envs.make("Hopper-v0")
+    env.seed(seed)
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    obs = env.reset()
+    total = 0.0
+    for _ in range(STEPS):
+        obs, reward, terminated, truncated, _ = env.step(
+            rng.uniform(-1.0, 1.0, size=env.action_space.shape))
+        total += reward
+        if terminated or truncated:
+            obs = env.reset()
+    return {"total": total, "final_obs": np.asarray(obs).tolist()}
+
+
+class TestWorkerPoolChaos:
+    def test_worker_killed_mid_rollout_requeued_bit_identical(self, tmp_path):
+        """SIGKILL-equivalent crash mid-job: classified, replaced, retried.
+
+        The fault fires once (marker-counted), so the retry on the
+        replacement worker runs the rollout clean — and must return the
+        same bits an unfaulted inline run produces.
+        """
+        marker = tmp_path / "pool-crash"
+        job = Job(fn=WorkerFault(_rollout_job, "crash", str(marker)),
+                  name="rollout")
+        with WorkerPool(max_workers=2) as pool:
+            report = run_parallel([job], pool=pool, retries=1)
+            assert pool.replacements == 1
+            heartbeats = list(Path(pool._tmp.name).glob("*.heartbeat"))
+            assert len(heartbeats) == 2  # dead worker's file was removed
+        assert report.n_failed == 0
+        assert len(report.retried) == 1
+        assert report.retried[0][1].error_kind == "crash"
+        assert "exited with code 13" in report.retried[0][1].error
+        assert report.values()[0] == _rollout_job()
+
+    def test_crash_without_retry_is_contained(self, tmp_path):
+        """No retries: the crash is a classified failure, not an exception,
+        and the refilled pool keeps serving subsequent sweeps."""
+        marker = tmp_path / "pool-crash-noretry"
+        with WorkerPool(max_workers=1) as pool:
+            report = run_parallel(
+                [Job(fn=WorkerFault(_ok_job, "crash", str(marker)),
+                     name="boom")], pool=pool)
+            assert report.results[0].error_kind == "crash"
+            follow_up = run_parallel(
+                [Job(fn=_ok_job, args=(5,), name="after")], pool=pool)
+        assert follow_up.values() == [5]
+
+    def test_no_stale_files_after_graceful_close_and_sigkill(self):
+        """Neither shutdown mode leaves heartbeat files or shm segments."""
+        from repro.runtime.shm import default_shm_dir
+
+        shm_dir = Path(default_shm_dir())
+
+        pool = WorkerPool(max_workers=2)
+        root = Path(pool._tmp.name)
+        pool.run([Job(fn=_ok_job, args=(1,), name="warm")])
+        pool.close()
+        assert not root.exists()
+
+        pool = WorkerPool(max_workers=2)
+        root = Path(pool._tmp.name)
+        pool.run([Job(fn=_ok_job, args=(1,), name="warm")])
+        for worker in list(pool._live):
+            os.kill(worker.process.pid, signal.SIGKILL)
+            worker.process.join(5.0)
+        pool.close()  # close after carnage still cleans the directory
+        assert not root.exists()
+        assert sorted(shm_dir.glob("repro-pool-*")) == []

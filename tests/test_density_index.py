@@ -192,3 +192,109 @@ class TestUnionBufferExtendDelta:
             np.testing.assert_array_equal(
                 index.query(queries, 4),
                 KnnDensityEstimator(buf.states, k=4).distance(queries))
+
+
+# ------------------------------------------------- background double-buffer
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    dim=st.integers(1, 10),
+    k=st.integers(1, 5),
+    rebuild_fraction=st.sampled_from([0.05, 0.25, 1.0]),
+    batch_sizes=st.lists(st.integers(1, 25), min_size=1, max_size=8),
+    resets=st.lists(st.booleans(), min_size=1, max_size=8),
+)
+def test_property_background_bit_identical_to_sync(
+        seed, dim, k, rebuild_fraction, batch_sizes, resets):
+    """Random add/reset/query interleavings straddling the background
+    publish point return bit-identical distances to the from-scratch
+    estimator — the double-buffer rebuild is observationally invisible."""
+    rng = np.random.default_rng(seed)
+    index = IncrementalKnnIndex(rebuild_fraction=rebuild_fraction,
+                                background=True)
+    batches = []
+    for size, do_reset in zip(batch_sizes, resets + [False] * len(batch_sizes)):
+        batch = rng.standard_normal((size, dim))
+        if do_reset and batches:
+            # reset() kicks a full background rebuild; query immediately
+            # after (below) straddles the publish point.
+            batches = [np.concatenate(batches), batch]
+            index.reset(np.concatenate(batches))
+        else:
+            index.add(batch)
+            batches.append(batch)
+        points = np.concatenate(batches)
+        estimator = KnnDensityEstimator(points, k=k)
+        queries = rng.standard_normal((7, dim))
+        np.testing.assert_array_equal(index.query(queries, k),
+                                      estimator.distance(queries))
+        np.testing.assert_array_equal(
+            index.query(points, k, exclude_self=True),
+            estimator.distance(points, exclude_self=True))
+
+
+class TestBackgroundRebuild:
+    def test_counters_and_partition_match_sync_mode(self, rng):
+        """Same adds → same rebuild count, pending split, and points in
+        both modes: the background thread only moves *when* the tree is
+        constructed, never what the index observably contains."""
+        sync = IncrementalKnnIndex(rebuild_fraction=0.5)
+        background = IncrementalKnnIndex(rebuild_fraction=0.5, background=True)
+        for _ in range(20):
+            batch = rng.standard_normal((8, 4))
+            sync.add(batch)
+            background.add(batch)
+        assert background.rebuilds == sync.rebuilds
+        assert background.n_indexed == sync.n_indexed
+        assert background.n_pending == sync.n_pending
+        np.testing.assert_array_equal(background.points, sync.points)
+
+    def test_state_dict_roundtrip_mid_rebuild(self, rng):
+        """state_dict taken right after a kick (the build may still be in
+        flight) restores into an index that answers identically."""
+        index = IncrementalKnnIndex(rebuild_fraction=0.5, background=True)
+        for _ in range(6):
+            index.add(rng.standard_normal((25, 4)))
+        index.reset(rng.standard_normal((180, 4)))  # kick a full rebuild
+        state = index.state_dict()                  # joins, then snapshots
+        restored_background = IncrementalKnnIndex(background=True)
+        restored_background.load_state_dict(state)
+        restored_sync = IncrementalKnnIndex()
+        restored_sync.load_state_dict(state)
+        queries = rng.standard_normal((31, 4))
+        np.testing.assert_array_equal(index.query(queries, 4),
+                                      restored_background.query(queries, 4))
+        np.testing.assert_array_equal(index.query(queries, 4),
+                                      restored_sync.query(queries, 4))
+        assert restored_background.rebuilds == index.rebuilds
+        assert restored_background.n_indexed == index.n_indexed
+
+    def test_pickle_joins_inflight_build(self, rng):
+        """__getstate__ must not ship thread handles; the clone answers
+        bit-identically even when pickled right after a kick."""
+        import pickle
+
+        index = IncrementalKnnIndex(background=True)
+        index.add(rng.standard_normal((120, 3)))
+        index.reset(rng.standard_normal((150, 3)))  # build in flight
+        clone = pickle.loads(pickle.dumps(index))
+        queries = rng.standard_normal((13, 3))
+        np.testing.assert_array_equal(index.query(queries, 3),
+                                      clone.query(queries, 3))
+
+    def test_union_delta_driving_matches_estimator(self, rng):
+        """The regularizer's exact sync loop, background mode: deltas in,
+        estimator-equal distances out, across the reservoir transition."""
+        buf = UnionStateBuffer(capacity=60, seed=3)
+        index = IncrementalKnnIndex(rebuild_fraction=0.3, background=True)
+        for _ in range(10):
+            delta = buf.extend(rng.standard_normal((16, 3)))
+            if delta.append_only:
+                index.add(delta.appended)
+            else:
+                index.reset(buf.states)
+            queries = rng.standard_normal((9, 3))
+            np.testing.assert_array_equal(
+                index.query(queries, 4),
+                KnnDensityEstimator(buf.states, k=4).distance(queries))

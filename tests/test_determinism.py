@@ -1,6 +1,6 @@
 """Determinism battery: same seed ⇒ bit-identical results and telemetry.
 
-Three layers of the reproducibility contract:
+Five layers of the reproducibility contract:
 
 1. In-process repeatability — two ``train_ppo``/``AdversaryTrainer``
    runs with the same seed produce bit-identical histories.
@@ -10,11 +10,21 @@ Three layers of the reproducibility contract:
    ``ManualClock``).
 3. Cross-process — the same training job executed in two fresh worker
    processes via ``run_parallel`` returns bit-identical histories.
+4. Cross-lane (PR 7) — serial, ``SyncVectorEnv``, and
+   ``AsyncVectorEnv`` backends produce bit-identical trainer histories
+   and full rollout arrays at matched seeds.
+5. Pool vs spawn-per-job (PR 7) — ``run_parallel(pool=...)`` on a
+   persistent ``WorkerPool`` returns the same bits as spawn-per-job
+   scheduling, including after a worker was killed and replaced.
 
 "Bit-identical" means ``==`` on the float dicts — no tolerances.
 """
 
 from __future__ import annotations
+
+import dataclasses
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -24,7 +34,15 @@ from repro.attacks import AttackConfig, StatePerturbationEnv
 from repro.attacks.imap.regularizers import make_regularizer
 from repro.attacks.trainer import AdversaryTrainer
 from repro.rl import TrainConfig, train_ppo
-from repro.runtime import Job, SyncVectorEnv, run_parallel
+from repro.rl.policy import ActorCritic
+from repro.runtime import (
+    AsyncVectorEnv,
+    Job,
+    SyncVectorEnv,
+    WorkerPool,
+    run_parallel,
+)
+from repro.runtime.collector import collect_adversary_rollout_vec
 from repro.telemetry import ManualClock, Telemetry
 
 
@@ -113,3 +131,91 @@ class TestCrossProcessDeterminism:
         assert first == second
         # ... and both match an in-process run of the same cell.
         assert first == _attack_history_job(seed=3)
+
+
+class TestThreeLaneDeterminism:
+    """Serial vs SyncVectorEnv vs AsyncVectorEnv at matched seeds."""
+
+    def test_trainer_histories_identical_across_backends(self, small_victim):
+        def adv_env():
+            return StatePerturbationEnv(envs.make("Hopper-v0"), small_victim,
+                                        epsilon=0.6, seed=0)
+
+        serial = _train_attack(adv_env())
+        sync = _train_attack(SyncVectorEnv([adv_env()]))
+        async_vec = AsyncVectorEnv([adv_env()])
+        try:
+            asynchronous = _train_attack(async_vec)
+        finally:
+            async_vec.close()
+        assert serial.history == sync.history
+        assert sync.history == asynchronous.history
+
+    def test_rollout_arrays_identical_sync_vs_async(self, small_victim):
+        """Every field of the collected AdversaryRollout, two lanes."""
+        def lanes():
+            return [StatePerturbationEnv(envs.make("Hopper-v0"), small_victim,
+                                         epsilon=0.6)
+                    for _ in range(2)]
+
+        def collect(vec):
+            vec.seed(17)
+            policy = ActorCritic(vec.observation_space.shape[0],
+                                 vec.action_space.shape[0], hidden_sizes=(8,),
+                                 rng=np.random.default_rng(9))
+            rng = np.random.default_rng(np.random.SeedSequence(23))
+            return collect_adversary_rollout_vec(vec, policy, 128, rng)
+
+        sync_rollout = collect(SyncVectorEnv(lanes()))
+        async_vec = AsyncVectorEnv(lanes())
+        try:
+            async_rollout = collect(async_vec)
+        finally:
+            async_vec.close()
+        for field in dataclasses.fields(sync_rollout):
+            sync_value = getattr(sync_rollout, field.name)
+            async_value = getattr(async_rollout, field.name)
+            if isinstance(sync_value, np.ndarray):
+                np.testing.assert_array_equal(sync_value, async_value,
+                                              err_msg=field.name)
+            else:
+                assert sync_value == async_value, field.name
+
+
+def _seeded_values_job(seed: int = 0):
+    """Pure function of a SeedSequence-derived generator (picklable)."""
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    return rng.standard_normal(16).tolist()
+
+
+class TestPoolVsSpawnDeterminism:
+    def test_pool_matches_spawn_per_job_training_cells(self):
+        def jobs():
+            return [Job(fn=_attack_history_job, kwargs={"seed": s},
+                        name=f"seed{s}") for s in (3, 4)]
+
+        spawn_report = run_parallel(jobs(), max_workers=2)
+        assert spawn_report.n_failed == 0, spawn_report.failures
+        with WorkerPool(max_workers=2) as pool:
+            pool_report = run_parallel(jobs(), pool=pool)
+        assert pool_report.n_failed == 0, pool_report.failures
+        assert spawn_report.values() == pool_report.values()
+
+    def test_results_identical_after_worker_replacement(self):
+        def jobs():
+            return [Job(fn=_seeded_values_job, kwargs={"seed": s},
+                        name=f"seed{s}") for s in range(6)]
+
+        expected = [_seeded_values_job(seed=s) for s in range(6)]
+        with WorkerPool(max_workers=2) as pool:
+            before = run_parallel(jobs(), pool=pool)
+            # Kill an idle worker between sweeps: the next dispatch that
+            # lands on the corpse is replaced and requeued transparently.
+            victim = pool._idle[0]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            victim.process.join(5.0)
+            after = run_parallel(jobs(), pool=pool)
+            assert pool.replacements >= 1
+        assert before.n_failed == after.n_failed == 0
+        assert before.values() == expected
+        assert after.values() == expected
