@@ -1,0 +1,147 @@
+"""CI smoke driver for the multi-host job fabric.
+
+Boots two real ``python -m repro.fabric.worker`` daemons against one
+shared queue directory, submits a batch of deterministic probe jobs
+through ``run_parallel(fabric_dir=...)``, SIGKILLs one daemon while it
+holds the lease on a deliberately held job, and asserts that:
+
+* every job completes (the held job is stolen by the surviving daemon),
+* the committed results are bit-identical to a single-host
+  ``run_parallel`` of the same cells,
+* the sweep was *not* degraded (the surviving daemon did the work), and
+* ``store_gc.py leases`` afterwards prunes the dead lease tokens.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fabric_smoke.py [--steps 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.fabric import FabricConfig, FabricQueue  # noqa: E402
+from repro.fabric.probe import probe_job  # noqa: E402
+from repro.runtime import Job, run_parallel  # noqa: E402
+
+# Chaos-friendly timings: a killed daemon's lease is stealable after 2s.
+CONFIG = FabricConfig(lease_timeout=2.0, renew_interval=0.2,
+                      poll_interval=0.1, worker_timeout=1.0, grace=60.0)
+
+
+def spawn_daemon(fabric: Path, worker_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO / 'src'}{os.pathsep}" + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.fabric.worker", str(fabric),
+         "--worker-id", worker_id, "--idle-exit", "5", "--no-supervise"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+
+def wait_for(predicate, timeout: float, what: str) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"timed out waiting for {what}")
+        time.sleep(0.05)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=16,
+                        help="rollout steps per probe job (default 16)")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="fabric-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        fabric = tmp_path / "fabric"
+        hang = tmp_path / "victim-started"
+        release = tmp_path / "release"
+
+        def jobs():
+            batch = [Job(probe_job, name=f"cell-{seed}",
+                         kwargs={"steps": args.steps, "seed": seed})
+                     for seed in range(4)]
+            # cell-0 announces its start and then blocks on the release
+            # marker: the window in which we SIGKILL its daemon.
+            batch[0].kwargs.update(start_marker=str(hang),
+                                   hold_until=str(release))
+            return batch
+
+        print("[fabric_smoke] computing single-host reference results...")
+        release.touch()  # reference run never blocks
+        reference = run_parallel(jobs())
+        assert reference.n_failed == 0, reference.summary()
+        release.unlink()
+        hang.unlink()  # the reference run touched it too
+
+        queue = FabricQueue(fabric, config=CONFIG)
+        daemons = {name: spawn_daemon(fabric, name)
+                   for name in ("daemon-a", "daemon-b")}
+        print("[fabric_smoke] daemons up: "
+              + " ".join(f"{n}={p.pid}" for n, p in daemons.items()))
+        killed: list[str] = []
+
+        def holder_of_held_job() -> str | None:
+            for lease_dir in queue.leases_dir.iterdir():
+                if "cell-0" not in lease_dir.name or not lease_dir.is_dir():
+                    continue
+                for path in sorted(lease_dir.iterdir()):
+                    owner = path.read_text().strip()
+                    if owner in daemons:
+                        return owner
+            return None
+
+        def chaos() -> None:
+            wait_for(hang.exists, 90.0, "the held job to start")
+            victim = holder_of_held_job() or "daemon-a"
+            killed.append(victim)
+            os.kill(daemons[victim].pid, signal.SIGKILL)
+            print(f"[fabric_smoke] SIGKILLed {victim} mid-lease on the "
+                  "held job")
+            release.touch()
+
+        chaos_thread = threading.Thread(target=chaos, daemon=True)
+        chaos_thread.start()
+        report = run_parallel(jobs(), fabric_dir=fabric)
+        chaos_thread.join(10.0)
+        assert killed, "chaos thread never fired"
+        for name, proc in daemons.items():
+            proc.wait(timeout=60 if name not in killed else 10)
+
+        assert report.n_failed == 0, report.summary()
+        assert not report.degraded, "daemons were live; must not degrade"
+        for ours, ref in zip(report.results, reference.results):
+            assert ours.value == ref.value, (
+                f"{ours.name}: fabric result diverged from single-host run")
+        workers = {queue.result_envelope(job_id)["worker"]
+                   for job_id in queue.entries()}
+        assert workers <= set(daemons), workers
+        print(f"[fabric_smoke] all 4 cells bit-identical; committed by "
+              f"{sorted(workers)}; {report.summary()}")
+
+        gc = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "store_gc.py"), "leases",
+             "--fabric-dir", str(fabric), "--yes"],
+            capture_output=True, text=True, timeout=60)
+        assert gc.returncode == 0, gc.stdout + gc.stderr
+        assert "removed" in gc.stdout, gc.stdout
+        leftovers = [d for d in queue.leases_dir.iterdir() if d.is_dir()]
+        assert not leftovers, f"leases survived gc: {leftovers}"
+        print("[fabric_smoke] lease gc clean; OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

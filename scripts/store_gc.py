@@ -7,10 +7,14 @@ Examples::
     python scripts/store_gc.py verify
     python scripts/store_gc.py prune --keep-latest 2
     python scripts/store_gc.py prune --keep-latest 0 --yes   # wipe everything
+    python scripts/store_gc.py leases --fabric-dir /shared/sweep --yes
 
 ``prune --keep-latest N`` keeps the N newest artifacts per logical
 family (kind + env/game + defense/attack) and deletes older ones, plus
-any orphan blobs left by interrupted writes.  Destructive actions ask
+any orphan blobs left by interrupted writes.  ``leases`` prunes expired
+fencing-token files and stale worker heartbeats from a fabric directory
+(superseded tokens and the lease dirs of finished jobs; the current
+token of an unfinished job is never touched).  Destructive actions ask
 for confirmation unless ``--yes`` is given.
 """
 
@@ -72,6 +76,22 @@ def cmd_prune(args) -> int:
     return 0
 
 
+def cmd_leases(args) -> int:
+    from repro.fabric import FabricQueue
+
+    queue = FabricQueue(args.fabric_dir)
+    if not args.yes:
+        answer = input(f"prune expired leases under {queue.root}? [y/N] ")
+        if answer.strip().lower() not in ("y", "yes"):
+            print("aborted")
+            return 1
+    removed = queue.prune_leases()
+    for path in removed:
+        print(f"removed {path.relative_to(queue.root)}")
+    print(f"removed {len(removed)} lease/heartbeat files from {queue.root}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--store-dir", default=None,
@@ -85,12 +105,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifacts to keep per family (default 1)")
     prune.add_argument("--yes", action="store_true",
                        help="skip the confirmation prompt")
+    leases = sub.add_parser(
+        "leases", help="prune expired fabric lease tokens + stale heartbeats")
+    leases.add_argument("--fabric-dir", required=True,
+                        help="the shared fabric directory to clean")
+    leases.add_argument("--yes", action="store_true",
+                        help="skip the confirmation prompt")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return {"list": cmd_list, "verify": cmd_verify, "prune": cmd_prune}[args.command](args)
+    return {"list": cmd_list, "verify": cmd_verify, "prune": cmd_prune,
+            "leases": cmd_leases}[args.command](args)
 
 
 if __name__ == "__main__":

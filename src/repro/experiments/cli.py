@@ -85,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(--jobs workers, spawned once and reused for "
                              "every experiment and retry) instead of "
                              "spawning a fresh process per job")
+    parser.add_argument("--fabric", default=None, metavar="DIR",
+                        help="run the sweep on the multi-host job fabric "
+                             "rooted at DIR: jobs are executed by whatever "
+                             "`python -m repro.fabric.worker DIR` daemons "
+                             "share the directory (falling back to inline "
+                             "execution if none are alive)")
     parser.add_argument("--envs", nargs="*", default=None,
                         help="restrict single-agent experiments to these env ids")
     parser.add_argument("--games", nargs="*", default=None,
@@ -188,6 +194,9 @@ def _make_telemetry(args) -> Telemetry | None:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = apply_resume(parser.parse_args(argv), parser)
+    if args.fabric is not None and args.pool:
+        parser.error("--fabric and --pool are mutually exclusive "
+                     "execution lanes")
     if args.store_dir is not None:
         # Environment, not a parameter: pool workers inherit it on spawn.
         os.environ["REPRO_STORE"] = str(args.store_dir)
@@ -201,7 +210,8 @@ def main(argv: list[str] | None = None) -> int:
             # A --job-timeout also routes a sequential run through the
             # scheduler: the watchdog needs its own worker process to kill.
             if ((args.jobs > 1 and len(args.what) > 1)
-                    or args.job_timeout is not None or args.pool):
+                    or args.job_timeout is not None or args.pool
+                    or args.fabric is not None):
                 jobs = [Job(fn=run_experiment,
                             args=(what, args.scale, args.seed,
                                   args.envs, args.games, args.attacks),
@@ -213,7 +223,8 @@ def main(argv: list[str] | None = None) -> int:
                         pool = stack.enter_context(
                             WorkerPool(max_workers=max(1, args.jobs)))
                     report = run_parallel(jobs, max_workers=args.jobs,
-                                          timeout=args.job_timeout, pool=pool)
+                                          timeout=args.job_timeout, pool=pool,
+                                          fabric_dir=args.fabric)
                 for what, result in zip(args.what, report.results):
                     print(f"\n##### {what} (scale={scale.name}) #####\n", flush=True)
                     if result.ok:

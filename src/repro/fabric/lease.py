@@ -1,0 +1,167 @@
+"""O_EXCL lease files with monotonic fencing tokens.
+
+A job's lease directory (``<fabric>/leases/<job_id>/``) holds zero or
+more **token files** named ``t00000001``, ``t00000002``, … — each
+created with ``O_CREAT|O_EXCL``, so allocation of a given token number
+is a cross-process (and, on a shared filesystem, cross-host)
+compare-and-swap: exactly one claimant ever owns token N.  The *highest*
+token is the current lease; its file's mtime is the lease heartbeat,
+renewed by the owner (:meth:`Lease.renew` → ``os.utime``).  A claimant
+may create token N+1 only once token N's mtime is older than the
+fabric's ``lease_timeout`` — that is the steal.
+
+Fencing is the part that makes split brain safe.  Tokens only ever go
+up, so a worker can always answer "am I still the owner?" by checking
+whether a token newer than its own exists (:meth:`Lease.is_supreme`).
+Every renewal performs that check, and the commit path performs it one
+final time before publishing a result; a worker whose lease was stolen
+— because it was SIGSTOPped past the heartbeat timeout, because its
+host's clock is skewed, because the filesystem was slow — **abandons**
+its result and reports ``error_kind="lease_lost"``.  Even the residual
+race (steal lands between the final check and the rename) cannot
+clobber anything: results are committed under token-stamped filenames
+and readers only believe the highest token, so a stale writer's bytes
+are simply ignored.  And because jobs resume from checkpoints
+bit-identically, a stale result and a stolen re-run hold identical
+bytes anyway — the fencing protocol is the guarantee, determinism is
+the backstop.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Lease", "LeaseLost", "try_acquire", "highest_token", "TOKEN_WIDTH"]
+
+TOKEN_WIDTH = 8  # t00000001 … zero-padded so lexical sort == numeric sort
+
+
+class LeaseLost(RuntimeError):
+    """This worker's lease was superseded by a higher fencing token."""
+
+
+def _token_path(lease_dir: Path, token: int) -> Path:
+    return lease_dir / f"t{token:0{TOKEN_WIDTH}d}"
+
+
+def _parse_token(path: Path) -> int | None:
+    name = path.name
+    if not name.startswith("t") or not name[1:].isdigit():
+        return None
+    return int(name[1:])
+
+
+def highest_token(lease_dir: Path) -> tuple[int, Path] | None:
+    """``(token, path)`` of the current (highest) token file, or None."""
+    best: tuple[int, Path] | None = None
+    try:
+        names = os.listdir(lease_dir)
+    except OSError:
+        return None
+    for name in names:
+        token = _parse_token(Path(name))
+        if token is not None and (best is None or token > best[0]):
+            best = (token, lease_dir / name)
+    return best
+
+
+@dataclass
+class Lease:
+    """Ownership of one fencing token for one job.
+
+    ``renew()`` is called from the owner's keeper thread; it both
+    freshens the lease heartbeat (token-file mtime) and checks fencing.
+    Once ``lost`` is True the lease never recovers — the owner must
+    abandon its in-flight result.
+    """
+
+    lease_dir: Path
+    job_id: str
+    token: int
+    path: Path
+    owner: str
+    # Filled when this acquisition stole an expired lease: the token and
+    # recorded owner id it superseded (None for a fresh first claim).
+    superseded_token: int | None = None
+    superseded_owner: str | None = None
+    lost: bool = field(default=False, init=False)
+
+    def is_supreme(self) -> bool:
+        """True while no newer token exists (and ours still does)."""
+        if self.lost:
+            return False
+        top = highest_token(self.lease_dir)
+        if top is None or top[0] != self.token:
+            self.lost = True
+            return False
+        return True
+
+    def renew(self) -> bool:
+        """Refresh the heartbeat mtime; False (and ``lost``) if fenced."""
+        if not self.is_supreme():
+            return False
+        try:
+            os.utime(self.path)
+        except OSError:
+            # Token file vanished (pruned, dir removed): treat as fenced
+            # — continuing without a renewable lease is exactly the
+            # zombie behaviour fencing exists to stop.
+            self.lost = True
+            return False
+        return True
+
+    def check(self) -> None:
+        """Raise :class:`LeaseLost` unless this lease is still supreme."""
+        if not self.is_supreme():
+            raise LeaseLost(
+                f"lease t{self.token} on {self.job_id} was superseded by a "
+                "newer fencing token; abandoning result")
+
+
+def _read_owner(path: Path) -> str | None:
+    try:
+        return path.read_text(encoding="utf-8").strip() or None
+    except OSError:
+        return None
+
+
+def try_acquire(lease_dir: Path, job_id: str, owner: str,
+                lease_timeout: float, now: float | None = None) -> Lease | None:
+    """Attempt to claim the next fencing token for ``job_id``.
+
+    Returns None when the current lease is still live (its heartbeat is
+    fresher than ``lease_timeout``) or when another claimant won the
+    O_EXCL race for the same token number.  Callers just retry on their
+    next scan — losing this race is normal, not an error.
+    """
+    now = time.time() if now is None else now
+    lease_dir.mkdir(parents=True, exist_ok=True)
+    top = highest_token(lease_dir)
+    if top is None:
+        next_token, superseded_token, superseded_owner = 1, None, None
+    else:
+        token, path = top
+        try:
+            age = now - path.stat().st_mtime
+        except OSError:
+            age = float("inf")  # token vanished mid-look; treat as expired
+        if age <= lease_timeout:
+            return None  # live lease — nothing to steal yet
+        next_token = token + 1
+        superseded_token, superseded_owner = token, _read_owner(path)
+    token_path = _token_path(lease_dir, next_token)
+    try:
+        fd = os.open(token_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return None  # someone else won token next_token
+    except OSError:
+        return None  # lease dir racing with pruning; retry next scan
+    with os.fdopen(fd, "w", encoding="utf-8") as fh:
+        fh.write(owner + "\n")
+    return Lease(lease_dir=lease_dir, job_id=job_id, token=next_token,
+                 path=token_path, owner=owner,
+                 superseded_token=superseded_token,
+                 superseded_owner=superseded_owner)

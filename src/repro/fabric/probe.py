@@ -1,0 +1,59 @@
+"""Importable self-test jobs for fabric smoke tests and CI.
+
+Fabric daemons unpickle job payloads by *reference*, so job functions
+must live in an importable module on every host.  ``probe_job`` is the
+canonical one: a seeded Hopper rollout whose return value is a pure
+function of its arguments — bit-identical no matter which host, daemon,
+or stolen-lease re-run produced it.  The optional marker arguments let
+chaos harnesses observe "the job started" and hold it open long enough
+to SIGKILL/SIGSTOP the worker mid-lease, without introducing any
+nondeterminism into the returned bits.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+__all__ = ["probe_job"]
+
+# How long a held probe waits for its release marker before giving up;
+# bounds chaos harnesses that die before releasing.
+_HOLD_LIMIT = 120.0
+
+
+def probe_job(steps: int = 64, start_marker: str | None = None,
+              hold_until: str | None = None, seed: int = 7) -> dict:
+    """Deterministic rollout cell; optionally announce start and hold.
+
+    ``start_marker``: touch this path when execution begins (lets a
+    harness know the job is mid-lease).  ``hold_until``: poll until this
+    path exists before returning (lets the harness control *when* the
+    job finishes).  Neither affects the returned value.
+    """
+    from .. import envs
+
+    if start_marker:
+        open(start_marker, "a").close()
+    if hold_until:
+        deadline = time.monotonic() + _HOLD_LIMIT
+        while not os.path.exists(hold_until):
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"probe hold marker {hold_until} never "
+                                   f"appeared within {_HOLD_LIMIT:.0f}s")
+            time.sleep(0.05)
+    env = envs.make("Hopper-v0")
+    env.seed(seed)
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    obs = env.reset()
+    total = 0.0
+    for _ in range(steps):
+        obs, reward, terminated, truncated, _ = env.step(
+            rng.uniform(-1.0, 1.0, size=env.action_space.shape))
+        total += float(reward)
+        if terminated or truncated:
+            obs = env.reset()
+    return {"total": total, "final_obs": np.asarray(obs).tolist(),
+            "steps": steps, "seed": seed}

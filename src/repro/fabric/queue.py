@@ -1,0 +1,428 @@
+"""Directory-backed job queue shared by every host that can see it.
+
+Layout under one shared directory (NFS, a bind mount, anything with
+POSIX ``O_EXCL`` and ``rename`` semantics)::
+
+    <fabric>/fabric.json                 # agreed timing config (first writer wins)
+    <fabric>/jobs/<job_id>.payload       # pickled Job bytes (written first)
+    <fabric>/jobs/<job_id>.json          # entry metadata = the enqueue commit marker
+    <fabric>/leases/<job_id>/tNNNNNNNN   # fencing tokens (see repro.fabric.lease)
+    <fabric>/results/<job_id>.tN.json    # token-stamped result envelopes
+    <fabric>/attempts/<job_id>.tN.json   # abandoned/superseded attempt records
+    <fabric>/workers/<worker_id>         # worker daemon heartbeats (mtime)
+    <fabric>/checkpoints/<job_id>.ckpt.npz  # shared TrainingCheckpoints
+    <fabric>/quarantine/                 # corrupt entries, moved aside
+    <fabric>/store/                      # ArtifactStore for successful results
+
+Every multi-byte write follows the sidecar-as-commit-marker idiom from
+:mod:`repro.store`: payload before entry, tmp+rename for every JSON, so
+a reader never parses a half-written file.  Entries that *are* damaged
+anyway (truncation, bit rot, a writer that died inside ``write``) are
+classified ``error_kind="queue_corrupt"``, moved to ``quarantine/`` and
+answered with a failed result envelope instead of wedging the sweep.
+
+Successful results are persisted through the **content-addressed
+store**: the spec is the SHA-256 of the job payload, so two hosts that
+race on the same spec converge on one artifact (``put`` of identical
+content is idempotent) and a re-submitted sweep — or a second submitter
+on another host — is served without re-running anything.  Failures stay
+queue-local (JSON envelopes only), so retries genuinely re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import socket
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..store import ArtifactStore
+from .lease import highest_token
+
+__all__ = ["FabricConfig", "FabricQueue", "JobEntry", "QueueCorrupt",
+           "worker_identity"]
+
+_CONFIG_NAME = "fabric.json"
+
+
+class QueueCorrupt(RuntimeError):
+    """A queue entry or payload failed validation (truncated, garbled)."""
+
+
+def worker_identity(nonce: str | None = None) -> str:
+    """``<host>-<pid>[-<nonce>]`` — unique across the hosts sharing a dir."""
+    base = f"{socket.gethostname()}-{os.getpid()}"
+    return f"{base}-{nonce}" if nonce else base
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Timing contract every participant must agree on.
+
+    The first process to touch a fabric directory writes these values to
+    ``fabric.json``; everyone else reads them back.  Agreement matters:
+    a stealer whose ``lease_timeout`` is shorter than an owner's
+    ``renew_interval`` would steal healthy leases constantly (fencing
+    keeps even that *correct*, but it wastes every stolen attempt).
+    """
+
+    lease_timeout: float = 15.0    # heartbeat staleness before a steal
+    renew_interval: float = 1.0    # how often an owner freshens its token
+    poll_interval: float = 0.25    # worker/submitter scan cadence
+    worker_timeout: float = 15.0   # worker-daemon heartbeat staleness
+    grace: float = 5.0             # submitter: no live workers for this long
+                                   # after submit → degrade to inline
+
+    def validate(self) -> "FabricConfig":
+        if self.lease_timeout <= 0 or self.poll_interval <= 0:
+            raise ValueError("fabric timings must be positive")
+        if self.renew_interval >= self.lease_timeout:
+            raise ValueError(
+                f"renew_interval ({self.renew_interval}) must be shorter than "
+                f"lease_timeout ({self.lease_timeout}) or every lease expires "
+                "between renewals")
+        return self
+
+
+@dataclass
+class JobEntry:
+    """Metadata for one queued job (the ``.json`` half of an entry)."""
+
+    job_id: str
+    name: str
+    payload_sha256: str
+    payload_bytes: int
+    timeout: float | None = None
+    checkpointable: bool = False
+    submitted_at: float = 0.0
+    submitter: str = ""
+
+
+class FabricQueue:
+    """One fabric directory: entries, leases, results, worker heartbeats."""
+
+    def __init__(self, root: str | Path, config: FabricConfig | None = None,
+                 telemetry=None):
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.leases_dir = self.root / "leases"
+        self.results_dir = self.root / "results"
+        self.attempts_dir = self.root / "attempts"
+        self.workers_dir = self.root / "workers"
+        self.checkpoints_dir = self.root / "checkpoints"
+        self.quarantine_dir = self.root / "quarantine"
+        for directory in (self.jobs_dir, self.leases_dir, self.results_dir,
+                          self.attempts_dir, self.workers_dir,
+                          self.checkpoints_dir, self.quarantine_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.store = ArtifactStore(self.root / "store", telemetry=telemetry)
+        self.config = self._load_or_init_config(config)
+
+    # -------------------------------------------------------------- config
+
+    def _load_or_init_config(self, config: FabricConfig | None) -> FabricConfig:
+        path = self.root / _CONFIG_NAME
+        if path.exists():
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+                return FabricConfig(**doc).validate()
+            except (OSError, json.JSONDecodeError, TypeError, ValueError):
+                pass  # unreadable config: fall through and rewrite it
+        config = (config or FabricConfig()).validate()
+        self._write_json(path, asdict(config))
+        return config
+
+    # ------------------------------------------------------------ plumbing
+
+    @staticmethod
+    def _write_json(path: Path, doc: dict) -> None:
+        """tmp+rename JSON write — readers see old, new, or nothing."""
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name,
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    def _entry_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _payload_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.payload"
+
+    def lease_dir(self, job_id: str) -> Path:
+        return self.leases_dir / job_id
+
+    def checkpoint_path(self, job_id: str) -> Path:
+        return self.checkpoints_dir / f"{job_id}.ckpt.npz"
+
+    # ------------------------------------------------------------- enqueue
+
+    def enqueue(self, job, job_id: str, payload: bytes,
+                timeout: float | None = None,
+                submitter: str = "") -> JobEntry:
+        """Publish one job: payload bytes first, entry JSON as the marker."""
+        payload_path = self._payload_path(job_id)
+        fd, tmp_name = tempfile.mkstemp(dir=payload_path.parent,
+                                        prefix=payload_path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp_name, payload_path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        entry = JobEntry(
+            job_id=job_id, name=job.name,
+            payload_sha256=hashlib.sha256(payload).hexdigest(),
+            payload_bytes=len(payload),
+            timeout=job.timeout if job.timeout is not None else timeout,
+            checkpointable=bool(job.checkpointable),
+            submitted_at=time.time(), submitter=submitter)
+        self._write_json(self._entry_path(job_id), asdict(entry))
+        return entry
+
+    # ---------------------------------------------------------------- scan
+
+    def entries(self) -> list[str]:
+        """Sorted job ids with a committed entry (quarantined ones gone)."""
+        return sorted(path.stem for path in self.jobs_dir.glob("*.json"))
+
+    def read_entry(self, job_id: str) -> JobEntry:
+        """Parse one entry; :class:`QueueCorrupt` on any damage."""
+        try:
+            with open(self._entry_path(job_id), encoding="utf-8") as fh:
+                doc = json.load(fh)
+            entry = JobEntry(**doc)
+        except (OSError, json.JSONDecodeError, TypeError) as exc:
+            raise QueueCorrupt(
+                f"queue entry {job_id} is unreadable: "
+                f"{type(exc).__name__}: {exc}") from exc
+        if entry.job_id != job_id:
+            raise QueueCorrupt(
+                f"queue entry {job_id} records job_id {entry.job_id!r}")
+        return entry
+
+    def read_payload(self, entry: JobEntry) -> bytes:
+        """The entry's payload bytes, verified against the recorded hash."""
+        try:
+            payload = self._payload_path(entry.job_id).read_bytes()
+        except OSError as exc:
+            raise QueueCorrupt(
+                f"payload for {entry.job_id} is unreadable: {exc}") from exc
+        if len(payload) != entry.payload_bytes:
+            raise QueueCorrupt(
+                f"payload for {entry.job_id} is {len(payload)} bytes, entry "
+                f"records {entry.payload_bytes} (truncated)")
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != entry.payload_sha256:
+            raise QueueCorrupt(
+                f"payload for {entry.job_id} hashes to {digest[:12]}…, entry "
+                f"records {entry.payload_sha256[:12]}… (corrupt)")
+        return payload
+
+    def quarantine(self, job_id: str, reason: str) -> None:
+        """Move a damaged entry aside so scans stop tripping over it."""
+        for path in (self._entry_path(job_id), self._payload_path(job_id)):
+            if path.exists():
+                try:
+                    os.replace(path, self.quarantine_dir / path.name)
+                except OSError:
+                    pass
+        self._write_json(self.quarantine_dir / f"{job_id}.reason.json",
+                         {"job_id": job_id, "reason": reason,
+                          "quarantined_at": time.time()})
+
+    # -------------------------------------------------------------- results
+
+    def _envelopes(self, job_id: str) -> list[tuple[int, Path]]:
+        out = []
+        for path in self.results_dir.glob(f"{job_id}.t*.json"):
+            token_part = path.name[len(job_id) + 2:-len(".json")]
+            if token_part.isdigit():
+                out.append((int(token_part), path))
+        return sorted(out)
+
+    def result_envelope(self, job_id: str) -> dict | None:
+        """The committed result with the **highest** fencing token.
+
+        Lower-token envelopes — a fenced zombie that won the final
+        check-vs-rename race — are physically present but never
+        believed; the token stamp in the filename is what makes a stale
+        writer unable to clobber a re-run.
+        """
+        for token, path in reversed(self._envelopes(job_id)):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue  # half-written by a dying writer; lower token wins
+            doc["token"] = token
+            return doc
+        return None
+
+    def commit_result(self, job_id: str, token: int, envelope: dict) -> Path:
+        path = self.results_dir / f"{job_id}.t{token}.json"
+        self._write_json(path, envelope)
+        return path
+
+    # Successful JobResults ride in the content-addressed store, keyed by
+    # the payload hash: identical specs from any host share one artifact.
+
+    def _result_spec(self, payload_sha256: str) -> dict:
+        return {"kind": "fabric_result", "payload_sha256": payload_sha256}
+
+    def store_success(self, payload_sha256: str, result) -> str:
+        blob = np.frombuffer(pickle.dumps(result), dtype=np.uint8).copy()
+        entry = self.store.put(self._result_spec(payload_sha256),
+                               {"pickle": blob},
+                               metadata={"name": result.name})
+        return entry.key
+
+    def cached_success(self, payload_sha256: str):
+        """A previously committed success for this payload, or None."""
+        hit = self.store.get(self._result_spec(payload_sha256))
+        if hit is None:
+            return None
+        state, _ = hit
+        try:
+            result = pickle.loads(state["pickle"].tobytes())
+        except Exception:  # noqa: BLE001 — damaged blob == miss, like the store
+            return None
+        return result if getattr(result, "ok", False) else None
+
+    def load_result(self, job_id: str, envelope: dict):
+        """Materialize a JobResult from a committed envelope."""
+        from ..runtime.scheduler import JobResult
+
+        if envelope.get("ok"):
+            result = self.cached_success(envelope["payload_sha256"])
+            if result is not None:
+                return result
+            return JobResult(
+                name=envelope.get("name", ""), ok=False,
+                error="queue result blob missing or corrupt behind a "
+                      "committed envelope",
+                traceback="(no traceback: store blob unreadable)",
+                error_kind="queue_corrupt")
+        return JobResult(
+            name=envelope.get("name", ""), ok=False,
+            error=envelope.get("error", "unknown fabric failure"),
+            traceback=envelope.get("traceback", ""),
+            duration=float(envelope.get("duration", 0.0)),
+            error_kind=envelope.get("error_kind", "crash"))
+
+    # ------------------------------------------------------------- attempts
+
+    def record_attempt(self, job_id: str, token: int, record: dict) -> None:
+        """Log one abandoned/superseded attempt (token-stamped, no clobber).
+
+        The error kind rides in the filename too: a SIGSTOPped zombie's
+        ``lease_lost`` self-report and its thief's ``orphaned`` record
+        both concern the same superseded token and must coexist.
+        """
+        record = dict(record, job_id=job_id, recorded_at=time.time())
+        kind = record.get("error_kind", "attempt")
+        self._write_json(
+            self.attempts_dir / f"{job_id}.t{token}.{kind}.json", record)
+
+    def attempts(self, job_id: str) -> list[dict]:
+        out = []
+        for path in sorted(self.attempts_dir.glob(f"{job_id}.t*.json")):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    out.append(json.load(fh))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return out
+
+    # -------------------------------------------------------------- workers
+
+    def touch_worker(self, worker_id: str) -> None:
+        path = self.workers_dir / worker_id
+        try:
+            path.touch()
+        except OSError:
+            pass  # advisory, like job heartbeats
+
+    def retire_worker(self, worker_id: str) -> None:
+        try:
+            (self.workers_dir / worker_id).unlink()
+        except OSError:
+            pass
+
+    def live_workers(self, now: float | None = None) -> list[str]:
+        """Worker ids whose heartbeat is fresher than ``worker_timeout``."""
+        now = time.time() if now is None else now
+        live = []
+        for path in self.workers_dir.iterdir():
+            try:
+                if now - path.stat().st_mtime <= self.config.worker_timeout:
+                    live.append(path.name)
+            except OSError:
+                continue
+        return sorted(live)
+
+    def worker_live(self, worker_id: str, now: float | None = None) -> bool:
+        now = time.time() if now is None else now
+        try:
+            age = now - (self.workers_dir / worker_id).stat().st_mtime
+        except OSError:
+            return False
+        return age <= self.config.worker_timeout
+
+    # ------------------------------------------------------------- pruning
+
+    def prune_leases(self, now: float | None = None) -> list[Path]:
+        """Delete lease files that can no longer fence anything.
+
+        Removable: every token below the current highest (they are
+        already superseded — fencing only ever consults the top), and
+        the entire lease directory of a job with a committed result
+        (the lease is moot once an envelope exists).  Stale worker
+        heartbeats are swept on the same pass.  The *current* token of
+        an unfinished job is never touched, expired or not — deleting it
+        would reset the monotonic counter.
+        """
+        now = time.time() if now is None else now
+        removed: list[Path] = []
+        for lease_dir in sorted(self.leases_dir.iterdir()):
+            if not lease_dir.is_dir():
+                continue
+            job_id = lease_dir.name
+            done = self.result_envelope(job_id) is not None
+            top = highest_token(lease_dir)
+            for path in sorted(lease_dir.iterdir()):
+                if done or (top is not None and path != top[1]):
+                    try:
+                        path.unlink()
+                        removed.append(path)
+                    except OSError:
+                        pass
+            if done:
+                try:
+                    lease_dir.rmdir()
+                except OSError:
+                    pass
+        for path in sorted(self.workers_dir.iterdir()):
+            try:
+                if now - path.stat().st_mtime > self.config.worker_timeout:
+                    path.unlink()
+                    removed.append(path)
+            except OSError:
+                continue
+        return removed

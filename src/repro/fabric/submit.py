@@ -1,0 +1,180 @@
+"""Submit side of the fabric: enqueue a batch, wait, degrade gracefully.
+
+:class:`FabricSubmitter` is what ``run_parallel(fabric_dir=...)`` routes
+batches through.  Each batch is enqueued under fresh unique job ids (the
+payload's SHA-256 plus a nonce — ids never collide, *dedup* is the
+content-addressed store's job), then polled until every job has a
+committed result envelope.
+
+Degradation contract: if the fabric has **no live worker daemon** for
+``grace`` consecutive seconds while jobs are pending, the submitter
+becomes a worker itself — it drains *its own* job ids inline through the
+very same lease/fencing protocol (so a daemon that comes back mid-drain
+cannot double-run anything), and the schedule is flagged ``degraded``
+with a ``schedule.degraded`` telemetry event.  A sweep never hangs on an
+empty fabric.
+
+Lease churn (stolen or abandoned attempts recorded by workers) is
+surfaced back to the scheduler as failed-attempt records so telemetry
+and ``ScheduleReport.retried`` show exactly what the fabric contained.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from pathlib import Path
+
+from .queue import FabricConfig, FabricQueue, worker_identity
+from .worker import FabricWorker
+
+__all__ = ["FabricSubmitter"]
+
+
+class FabricSubmitter:
+    """Run batches of scheduler Jobs on a shared fabric directory."""
+
+    def __init__(self, fabric_dir: str | Path,
+                 config: FabricConfig | None = None, telemetry=None):
+        self.queue = FabricQueue(fabric_dir, config=config, telemetry=telemetry)
+        self.identity = worker_identity(os.urandom(3).hex())
+        self._seq = 0
+        # Filled per run_batch: attempt records harvested from the queue,
+        # in (job_name, record) form for the scheduler's retried list.
+        self.degraded = False
+
+    # -------------------------------------------------------------- enqueue
+
+    def _job_id(self, job, payload: bytes) -> str:
+        self._seq += 1
+        digest = hashlib.sha256(payload).hexdigest()[:12]
+        safe = (job.name or "job").replace("/", "_").replace(" ", "_")[:48]
+        return f"{self._seq:06d}-{safe}-{digest}-{os.urandom(3).hex()}"
+
+    # ------------------------------------------------------------ run batch
+
+    def run_batch(self, jobs: list, timeout: float | None = None,
+                  deadline: float | None = None) -> tuple[list, list[dict], list]:
+        """Execute ``jobs`` on the fabric; ``(results, interventions, churn)``.
+
+        ``churn`` is a list of failed :class:`~repro.runtime.scheduler.
+        JobResult` records for lease-level containment events
+        (``orphaned`` steals, ``lease_lost`` abandonments) — they are
+        *attempts*, not final results, and feed ``report.retried``.
+        """
+        from ..runtime.scheduler import JobResult
+
+        jobs = list(jobs)
+        results: list = [None] * len(jobs)
+        interventions: list[dict] = []
+        pending: dict[str, int] = {}  # job_id -> index
+        for i, job in enumerate(jobs):
+            payload = job.payload()
+            sha = hashlib.sha256(payload).hexdigest()
+            cached = self.queue.cached_success(sha)
+            if cached is not None:
+                # Another submitter (or a previous round, possibly on
+                # another host) already ran this exact spec: the store is
+                # the dedup point, no entry is even enqueued.
+                results[i] = cached
+                continue
+            job_id = self._job_id(job, payload)
+            self.queue.enqueue(job, job_id, payload, timeout=timeout,
+                               submitter=self.identity)
+            pending[job_id] = i
+
+        start = time.monotonic()
+        last_live = start
+        degraded_this_batch = False
+        drain: FabricWorker | None = None
+        while pending:
+            for job_id in list(pending):
+                envelope = self.queue.result_envelope(job_id)
+                if envelope is None:
+                    continue
+                index = pending.pop(job_id)
+                results[index] = self.queue.load_result(job_id, envelope)
+                if envelope.get("dedup"):
+                    interventions.append({
+                        "index": index, "name": jobs[index].name,
+                        "action": "fabric-dedup",
+                        "detail": "served from the content-addressed store "
+                                  "without re-running",
+                    })
+            if not pending:
+                break
+            now = time.monotonic()
+            if deadline is not None and now - start >= deadline:
+                for job_id, index in sorted(pending.items()):
+                    results[index] = JobResult(
+                        name=jobs[index].name, ok=False,
+                        error=f"WorkerTimeout: fabric batch deadline "
+                              f"{deadline:.1f}s exceeded with the job still "
+                              "pending", traceback="(no worker traceback: "
+                              "fabric deadline)", error_kind="timeout")
+                    interventions.append({
+                        "index": index, "name": jobs[index].name,
+                        "action": "deadline-drop",
+                        "detail": "fabric batch deadline exceeded",
+                    })
+                pending.clear()
+                break
+            if self.queue.live_workers():
+                last_live = now
+            elif not degraded_this_batch and now - last_live >= self.queue.config.grace:
+                # No live daemon for a full grace window: this sweep runs
+                # inline.  The drain claims leases like any worker, so a
+                # daemon that revives mid-drain stays safe.
+                degraded_this_batch = True
+                self.degraded = True
+                interventions.append({
+                    "index": -1, "name": "",
+                    "action": "fabric-degraded",
+                    "detail": f"no live fabric workers for "
+                              f"{self.queue.config.grace:.1f}s; executing "
+                              "this batch inline",
+                })
+                drain = FabricWorker(
+                    self.queue, worker_id=f"{self.identity}-inline",
+                    supervise=False, job_filter=set(pending))
+            if drain is not None:
+                if not drain.scan_once():
+                    time.sleep(self.queue.config.poll_interval)
+            else:
+                time.sleep(self.queue.config.poll_interval)
+        return [r for r in results if r is not None], interventions, self._collect_churn()
+
+    # --------------------------------------------------------------- churn
+
+    def _collect_churn(self) -> list:
+        """Harvest lease-containment attempt records for telemetry.
+
+        Records accumulate in ``attempts/`` across the whole fabric; we
+        only report each one once per submitter (tracked by filename).
+        """
+        import json
+
+        from ..runtime.scheduler import JobResult
+
+        if not hasattr(self, "_seen_attempts"):
+            self._seen_attempts: set[str] = set()
+        churn = []
+        for path in sorted(self.queue.attempts_dir.glob("*.json")):
+            if path.name in self._seen_attempts:
+                continue
+            self._seen_attempts.add(path.name)
+            job_id = path.name.rsplit(".t", 1)[0]
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    record = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+            churn.append(JobResult(
+                name=record.get("name", job_id), ok=False,
+                error=record.get("error", "fabric lease churn"),
+                traceback="(no worker traceback: "
+                          f"{record.get('error_kind', 'lease churn')})",
+                duration=float(record.get("duration", 0.0)),
+                error_kind=record.get("error_kind", "orphaned")))
+        return churn

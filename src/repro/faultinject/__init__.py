@@ -13,6 +13,10 @@ on demand, reproducibly:
 * :func:`truncate_blob` — corrupt an artifact-store blob behind its
   valid sidecar, the failure mode ``ArtifactStore.verify``/``get`` must
   catch.
+* :func:`truncate_queue_entry` / :func:`skew_lease` — damage a fabric
+  queue entry (→ ``queue_corrupt`` quarantine) or age a healthy lease's
+  heartbeat into the past (→ a clock-skew steal the fenced owner must
+  survive by abandoning its result).
 
 ``tests/test_chaos.py`` drives the scheduler, supervisor, health
 guards, and store through these faults.
@@ -25,7 +29,9 @@ from .injector import (
     FaultSpec,
     FaultyEnv,
     WorkerFault,
+    skew_lease,
     truncate_blob,
+    truncate_queue_entry,
 )
 
 __all__ = [
@@ -35,5 +41,7 @@ __all__ = [
     "FaultSpec",
     "FaultyEnv",
     "WorkerFault",
+    "skew_lease",
     "truncate_blob",
+    "truncate_queue_entry",
 ]

@@ -22,7 +22,8 @@ from ..envs.core import Env, Wrapper
 
 __all__ = [
     "FAULT_KINDS", "FaultInjectionError", "FaultSpec", "FaultInjector",
-    "FaultyEnv", "WorkerFault", "truncate_blob",
+    "FaultyEnv", "WorkerFault", "truncate_blob", "truncate_queue_entry",
+    "skew_lease",
 ]
 
 FAULT_KINDS = ("raise", "hang", "nan")
@@ -208,3 +209,39 @@ def truncate_blob(store, key: str, keep_bytes: int = 16) -> Path:
     with open(blob_path, "r+b") as fh:
         fh.truncate(keep_bytes)
     return blob_path
+
+
+# ------------------------------------------------------------- fabric faults
+
+def truncate_queue_entry(queue, job_id: str, keep_bytes: int = 8) -> Path:
+    """Truncate a committed fabric queue entry's JSON to ``keep_bytes``.
+
+    Simulates an enqueue commit marker damaged after the fact (bit rot,
+    a non-atomic network filesystem): scans must classify the job
+    ``queue_corrupt`` and quarantine it rather than wedge on it.
+    """
+    path = queue._entry_path(job_id)
+    if not path.exists():
+        raise FileNotFoundError(f"no queue entry for job {job_id}")
+    with open(path, "r+b") as fh:
+        fh.truncate(keep_bytes)
+    return path
+
+
+def skew_lease(queue, job_id: str, seconds: float) -> Path:
+    """Age a job's current lease token by ``seconds`` (mtime into the past).
+
+    Simulates clock skew between hosts: to everyone else the (healthy)
+    owner's heartbeat looks ``seconds`` stale, inviting a steal.  The
+    fencing protocol must make the *owner* abandon its result — the
+    split-brain case where both sides are alive.
+    """
+    from ..fabric.lease import highest_token
+
+    top = highest_token(queue.lease_dir(job_id))
+    if top is None:
+        raise FileNotFoundError(f"no lease tokens for job {job_id}")
+    _, path = top
+    stat = path.stat()
+    os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+    return path

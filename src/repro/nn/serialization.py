@@ -3,7 +3,10 @@
 Writes are atomic: the archive is serialized to a sibling temp file and
 ``os.replace``\\ d into place, so a reader (or a crashed writer) never
 observes a half-written checkpoint — the file is either the previous
-complete version or the new one.
+complete version or the new one.  ``durable=True`` additionally fsyncs
+the temp file *before* the rename and the directory after it, closing
+the power-loss window where the rename is journaled but the data pages
+are not (a committed name over truncated bytes).
 """
 
 from __future__ import annotations
@@ -22,9 +25,29 @@ __all__ = ["save_state", "save_module", "load_state", "load_module"]
 _META_KEY = "__meta__"
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (the rename itself) to stable storage."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform/filesystem without dir-fsync: best effort
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def save_state(state: dict[str, np.ndarray], path: str | Path,
-               metadata: dict | None = None) -> Path:
-    """Atomically save a raw state dict (+ optional JSON metadata) to ``path``."""
+               metadata: dict | None = None, durable: bool = False) -> Path:
+    """Atomically save a raw state dict (+ optional JSON metadata) to ``path``.
+
+    ``durable=True`` fsyncs the bytes before the rename (and the
+    directory after), so a power cut cannot commit the name over
+    unwritten data.  Checkpoints default to fast (a torn checkpoint
+    just resumes one interval earlier); the artifact store opts in.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
@@ -38,7 +61,12 @@ def save_state(state: dict[str, np.ndarray], path: str | Path,
     try:
         with os.fdopen(fd, "wb") as fh:
             np.savez(fh, **arrays)
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
         os.replace(tmp_name, path)
+        if durable:
+            _fsync_dir(path.parent)
     except BaseException:
         if os.path.exists(tmp_name):
             os.unlink(tmp_name)

@@ -10,16 +10,20 @@ Layering (each layer usable on its own):
    bit-identical to the serial collector at ``n_envs=1``.
 3. :mod:`~repro.runtime.scheduler` — ``run_parallel`` executes whole
    experiment cells on a process pool with structured failure capture,
-   a ``crash | timeout | numerical | pickling | pool_broken`` error
-   taxonomy, seeded retry backoff, and ``SeedSequence``-derived
-   per-job seeds.
+   a structured ``error_kind`` taxonomy (``ERROR_KINDS``), seeded retry
+   backoff, and ``SeedSequence``-derived per-job seeds.
 4. :mod:`~repro.runtime.supervisor` — the watchdog behind ``timeout=``/
    ``deadline=``/``heartbeat_timeout=``: per-job worker processes that
    can be killed individually when they hang, stall, or overrun.
+5. :mod:`repro.fabric` — ``run_parallel(fabric_dir=...)`` scales the
+   same job model across hosts via a shared-directory queue with lease
+   fencing; :mod:`~repro.runtime.janitor` sweeps pool/shm debris left
+   by SIGKILLed parents.
 """
 
 from .async_vec_env import AsyncVectorEnv
 from .collector import collect_adversary_rollout_vec, knn_feature
+from .janitor import pid_alive, sweep_stale_pool_dirs, sweep_stale_shm_segments
 from .pool import WorkerPool
 from .scheduler import (
     ERROR_KINDS,
@@ -41,4 +45,5 @@ __all__ = [
     "Job", "JobResult", "ScheduleReport", "run_parallel", "derive_job_seeds",
     "compute_backoff", "ERROR_KINDS", "WorkerPool",
     "Supervisor", "WorkerCrash", "WorkerTimeout", "classify_exception",
+    "pid_alive", "sweep_stale_pool_dirs", "sweep_stale_shm_segments",
 ]

@@ -134,6 +134,11 @@ class AsyncVectorEnv(VectorEnv):
             mp_context = multiprocessing.get_context(mp_context)
         ctx = mp_context or multiprocessing.get_context()
 
+        # Reclaim arena segments orphaned by a SIGKILLed previous parent
+        # before allocating our own (on /dev/shm a leak is RAM, not disk).
+        from .janitor import sweep_stale_shm_segments
+
+        sweep_stale_shm_segments()
         n = self.num_envs
         self._arena = ShmArena.create([
             SlabSpec("obs", (n,) + self.observation_space.shape),

@@ -39,6 +39,7 @@ schedule independent single-job sweeps onto one warm pool.
 
 from __future__ import annotations
 
+import os
 import tempfile
 import threading
 import time
@@ -135,8 +136,14 @@ class WorkerPool:
         self.max_workers = max(1, int(max_workers))
         self.heartbeat_interval = heartbeat_interval
         self.poll_interval = poll_interval
+        # Before claiming our own heartbeat dir, sweep ones orphaned by a
+        # SIGKILLed parent — TemporaryDirectory's finalizer never ran there.
+        from .janitor import OWNER_FILE, sweep_stale_pool_dirs
+
+        sweep_stale_pool_dirs()
         self._tmp = tempfile.TemporaryDirectory(prefix="repro-pool-")
         self._root = Path(self._tmp.name)
+        (self._root / OWNER_FILE).write_text(f"{os.getpid()}\n", encoding="utf-8")
         self._cond = threading.Condition()
         self._idle: list[_Worker] = []
         self._live: list[_Worker] = []  # every not-yet-discarded worker

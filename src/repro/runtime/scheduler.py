@@ -84,18 +84,21 @@ def derive_job_seeds(base_seed: int, n_jobs: int) -> list[int]:
 
 
 def compute_backoff(base: float, round_index: int,
-                    rng: np.random.Generator) -> float:
+                    rng: np.random.Generator, cap: float = 60.0) -> float:
     """Seeded exponential backoff with jitter for retry round ``round_index``.
 
-    ``base * 2^(round-1)``, jittered uniformly into ``[0.5, 1.0]ד`` so
-    simultaneous sweeps don't retry in lockstep.  ``base <= 0`` disables
-    backoff entirely (and draws nothing from ``rng``, keeping the
-    generator untouched for determinism).
+    ``base * 2^(round-1)`` capped at ``cap`` seconds, jittered uniformly
+    into ``[0.5, 1.0]ד`` so simultaneous sweeps don't retry in
+    lockstep.  ``base <= 0`` disables backoff entirely (and draws nothing
+    from ``rng``, keeping the generator untouched for determinism).  The
+    exponent is clamped before exponentiation so absurd round counts
+    (a fabric job stolen hundreds of times) saturate at ``cap`` instead
+    of overflowing ``float``.
     """
     if base <= 0.0:
         return 0.0
-    return float(base * (2.0 ** max(0, round_index - 1))
-                 * (0.5 + 0.5 * rng.random()))
+    scale = base * (2.0 ** min(63, max(0, round_index - 1)))
+    return float(min(cap, scale) * (0.5 + 0.5 * rng.random()))
 
 
 @dataclass
@@ -154,6 +157,7 @@ class JobResult:
     attempts: int = 1
     # Structured failure taxonomy (None while ok):
     # crash | timeout | numerical | pickling | pool_broken
+    # | lease_lost | orphaned | queue_corrupt   (fabric lanes only)
     error_kind: str | None = None
 
 
@@ -166,8 +170,10 @@ class ScheduleReport:
     max_workers: int
     # Failed attempts that were requeued: (attempt_number, JobResult).
     retried: list[tuple[int, JobResult]] = field(default_factory=list)
-    # True if repeated pool breakage forced inline serial execution.
+    # True if repeated pool breakage (or a worker-less fabric) forced
+    # inline serial execution; degraded_reason says which.
     degraded: bool = False
+    degraded_reason: str = ""
     # Watchdog actions (kills, deadline drops) taken during the run.
     interventions: list[dict] = field(default_factory=list)
 
@@ -264,8 +270,9 @@ def _record_schedule(telemetry, report: ScheduleReport) -> None:
     if report.degraded:
         telemetry.metrics.counter("scheduler.pool_degraded").inc()
         telemetry.event("schedule.degraded", payload={
-            "reason": "process pool broke repeatedly; "
-                      "falling back to inline serial execution",
+            "reason": report.degraded_reason
+                      or "process pool broke repeatedly; "
+                         "falling back to inline serial execution",
         })
     for result in report.results:
         telemetry.metrics.counter(
@@ -356,7 +363,8 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
                  heartbeat_timeout: float | None = None,
                  retry_backoff: float = 0.0,
                  backoff_seed: int = 0,
-                 pool=None) -> ScheduleReport:
+                 pool=None,
+                 fabric_dir: str | Path | None = None) -> ScheduleReport:
     """Execute ``jobs`` and return per-job results in submission order.
 
     ``max_workers <= 1`` (or a single job) runs inline — no processes, no
@@ -397,17 +405,42 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
       replaces dead workers in place, so ``pool_broken`` never occurs.
       Job payloads are serialized once (``Job.payload``) and reshipped
       as bytes on retries.
+    * ``fabric_dir=`` routes every batch through the multi-host job
+      fabric (:mod:`repro.fabric`): jobs are enqueued into the shared
+      directory and executed by whatever worker daemons are drained from
+      it, with lease fencing, checkpoint-resumed steals, and
+      store-deduplicated results.  If no live daemon appears within the
+      fabric's grace window the batch degrades to inline execution
+      (``report.degraded`` + a ``schedule.degraded`` event) — a sweep
+      never hangs on an empty fabric.  Checkpointable jobs default their
+      ``checkpoint_dir`` into the fabric so a stolen job resumes on
+      whichever host re-leased it.
     """
     jobs = list(jobs)
     telemetry = telemetry if telemetry is not None else current_telemetry()
     start = time.perf_counter()
+    fabric = None
+    if fabric_dir is not None:
+        if pool is not None:
+            raise ValueError(
+                "run_parallel: fabric_dir= and pool= are mutually exclusive "
+                "execution lanes")
+        from ..fabric import FabricSubmitter
+
+        fabric = FabricSubmitter(fabric_dir, telemetry=telemetry)
+        if checkpoint_dir is None and checkpoint_every:
+            # Checkpoints must live on the shared directory, or a stolen
+            # job cannot resume on the host that re-leased it.
+            checkpoint_dir = Path(fabric_dir) / "checkpoints"
     prepared = _prepare_jobs(jobs, checkpoint_dir, checkpoint_every)
-    supervised = (pool is None
+    supervised = (pool is None and fabric is None
                   and (timeout is not None or deadline is not None
                        or heartbeat_timeout is not None
                        or any(job.timeout is not None for job in prepared)))
     pool_breaks = 0
     degraded = False
+    degraded_reason = ""
+    fabric_churn: list[JobResult] = []
     interventions: list[dict] = []
     backoff_rng = np.random.default_rng(np.random.SeedSequence(backoff_seed))
 
@@ -417,6 +450,12 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
         return max(0.0, deadline - (time.perf_counter() - start))
 
     def run_batch(subset: list[Job], requeue: bool = False) -> list[JobResult]:
+        if fabric is not None:
+            batch, acts, churn = fabric.run_batch(
+                subset, timeout=timeout, deadline=deadline_left())
+            interventions.extend(acts)
+            fabric_churn.extend(churn)
+            return batch
         if pool is not None:
             batch, acts = pool.run(subset, timeout=timeout,
                                    deadline=deadline_left(),
@@ -443,7 +482,8 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
     # (free — the job may never have run), degrading to inline after
     # repeated breakage.  Only the pool path can break a pool.
     rebuilds = 0
-    while pool is None and not supervised and rebuilds < MAX_POOL_REBUILDS:
+    while (pool is None and fabric is None and not supervised
+           and rebuilds < MAX_POOL_REBUILDS):
         broken = [i for i, r in enumerate(results)
                   if not r.ok and r.error_kind == "pool_broken"]
         if not broken:
@@ -475,12 +515,26 @@ def run_parallel(jobs: Iterable[Job] | Sequence[Job], max_workers: int = 1,
         pending = [i for i in pending if not results[i].ok]
     for i, result in enumerate(results):
         result.attempts = attempts[i]
+    if fabric is not None:
+        if fabric.degraded:
+            degraded = True
+            degraded_reason = ("no live fabric workers within the grace "
+                               "window; batch executed inline by the "
+                               "submitter")
+        # Lease churn (steals, fenced abandonments) surfaces as failed
+        # attempt records so report.retried and telemetry show exactly
+        # what containment the fabric performed.
+        churn_counts: dict[str, int] = {}
+        for record in fabric_churn:
+            churn_counts[record.name] = churn_counts.get(record.name, 0) + 1
+            retried.append((churn_counts[record.name], record))
     effective_workers = (pool.max_workers if pool is not None
                          else 1 if max_workers <= 1 else max_workers)
     report = ScheduleReport(results=results,
                             wall_clock=time.perf_counter() - start,
                             max_workers=effective_workers,
                             retried=retried, degraded=degraded,
+                            degraded_reason=degraded_reason,
                             interventions=interventions)
     if telemetry is not None:
         _record_schedule(telemetry, report)

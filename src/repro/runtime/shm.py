@@ -100,7 +100,10 @@ class ShmArena:
         """Allocate a zero-filled arena; the caller owns (and unlinks) it."""
         slabs = tuple(slabs)
         _, total = _layout(slabs)
-        fd, path = tempfile.mkstemp(prefix="repro-shm-", dir=dir or default_shm_dir())
+        # The creator pid rides in the filename so the janitor can sweep
+        # segments orphaned by a SIGKILLed owner (no finalizer ran).
+        fd, path = tempfile.mkstemp(prefix=f"repro-shm-{os.getpid()}-",
+                                    dir=dir or default_shm_dir())
         try:
             os.ftruncate(fd, total)
             mm = mmap.mmap(fd, total)

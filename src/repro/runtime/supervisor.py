@@ -28,7 +28,9 @@ business — a timed-out or crashed job is an ordinary failed
 
 :func:`classify_exception` maps exceptions onto the structured
 ``error_kind`` taxonomy (``crash | timeout | numerical | pickling |
-pool_broken``) shared with the pool path.
+pool_broken | lease_lost | orphaned | queue_corrupt``) shared with the
+pool path and the multi-host fabric (the last three only ever originate
+from :mod:`repro.fabric` lease churn and queue damage).
 """
 
 from __future__ import annotations
@@ -48,7 +50,8 @@ __all__ = [
     "WorkerCrash", "WorkerTimeout",
 ]
 
-ERROR_KINDS = ("crash", "timeout", "numerical", "pickling", "pool_broken")
+ERROR_KINDS = ("crash", "timeout", "numerical", "pickling", "pool_broken",
+               "lease_lost", "orphaned", "queue_corrupt")
 
 # How often a worker's daemon thread touches its heartbeat file.
 DEFAULT_HEARTBEAT_INTERVAL = 0.25
@@ -80,6 +83,10 @@ def classify_exception(exc: BaseException) -> str:
         return "pickling"
     if name == "NumericalDivergence":
         return "numerical"
+    if name == "LeaseLost":  # repro.fabric.lease — fenced mid-execution
+        return "lease_lost"
+    if name == "QueueCorrupt":  # repro.fabric.queue — damaged entry/payload
+        return "queue_corrupt"
     if isinstance(exc, (TimeoutError, WorkerTimeout)):
         return "timeout"
     return "crash"

@@ -34,7 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..nn.serialization import load_state, save_state
+from ..nn.serialization import _fsync_dir, load_state, save_state
 from ..telemetry import current_telemetry
 from .keys import canonicalize, spec_key
 
@@ -168,12 +168,18 @@ class ArtifactStore:
 
         Re-putting an existing key overwrites atomically with identical
         content (the spec *is* the identity), so concurrent writers of
-        the same cell are idempotent rather than corrupting.
+        the same cell are idempotent rather than corrupting.  Both the
+        blob and its sidecar are fsynced before their renames (and the
+        containing directory after): a power cut can lose an in-flight
+        put entirely, but can never commit a name over unwritten bytes —
+        artifacts may be expensive multi-hour training results, and a
+        torn one *looks* committed until ``verify`` runs.
         """
         spec = canonicalize(spec)
         key = spec_key(spec)
         blob_path, sidecar_path = self._paths(key)
-        save_state(state, blob_path, metadata={"key": key, "spec": spec})
+        save_state(state, blob_path, metadata={"key": key, "spec": spec},
+                   durable=True)
         entry = ArtifactEntry(
             key=key, spec=spec, metadata=canonicalize(metadata or {}),
             created_at=time.time(), nbytes=blob_path.stat().st_size,
@@ -190,7 +196,10 @@ class ArtifactStore:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 fh.write(payload + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp_name, sidecar_path)
+            _fsync_dir(sidecar_path.parent)
         except BaseException:
             if os.path.exists(tmp_name):
                 os.unlink(tmp_name)

@@ -30,16 +30,21 @@ from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import envs
 from repro.attacks import AttackConfig
 from repro.attacks.imap.regularizers import RiskRegularizer
+from repro.fabric import FabricConfig, FabricQueue, FabricWorker
 from repro.faultinject import (
     FaultInjectionError,
     FaultInjector,
     FaultSpec,
     WorkerFault,
+    skew_lease,
     truncate_blob,
+    truncate_queue_entry,
 )
 from repro.nn import as_tensor
 from repro.rl import (
@@ -81,6 +86,16 @@ def _sigstop_job(seed=None):
     # beating while the process stays "alive" — the stalled-worker case.
     os.kill(os.getpid(), signal.SIGSTOP)
     return "resumed"
+
+
+def _backoff_schedule(seed, rounds=6):
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    return [compute_backoff(0.2, r, rng) for r in range(1, rounds + 1)]
+
+
+def _send_backoff_schedule(conn, seed):
+    conn.send(_backoff_schedule(seed))
+    conn.close()
 
 
 @dataclass
@@ -266,8 +281,12 @@ class TestHealthGuards:
             assert classify_exception(exc) == "numerical"
         from concurrent.futures.process import BrokenProcessPool
         assert classify_exception(BrokenProcessPool("dead")) == "pool_broken"
+        from repro.fabric import LeaseLost, QueueCorrupt
+        assert classify_exception(LeaseLost("fenced")) == "lease_lost"
+        assert classify_exception(QueueCorrupt("garbled")) == "queue_corrupt"
         assert set(ERROR_KINDS) == {
-            "crash", "timeout", "numerical", "pickling", "pool_broken"}
+            "crash", "timeout", "numerical", "pickling", "pool_broken",
+            "lease_lost", "orphaned", "queue_corrupt"}
 
 
 # ----------------------------------------------------------------- watchdog
@@ -348,6 +367,53 @@ class TestRetryBackoff:
         elapsed = time.perf_counter() - start
         assert report.results[0].ok and report.results[0].attempts == 3
         assert elapsed >= 0.2  # round 1 ≥ 0.1, round 2 ≥ 0.2
+
+    def test_rounds_beyond_the_cap_stay_bounded(self):
+        # 2^9999 would overflow float; the exponent clamp + cap must not.
+        delay = compute_backoff(1.0, 10_000, np.random.default_rng(0))
+        assert 0.0 < delay <= 60.0
+        assert compute_backoff(5.0, 1_000, np.random.default_rng(1),
+                               cap=2.5) <= 2.5
+        # The cap bounds the scale *before* jitter, so delays never grow
+        # past cap no matter the round.
+        rng = np.random.default_rng(2)
+        delays = [compute_backoff(0.5, r, rng) for r in range(1, 80)]
+        assert max(delays) <= 60.0
+        assert all(d > 0.0 for d in delays)
+
+    def test_zero_backoff_never_sleeps(self, tmp_path, monkeypatch):
+        import repro.runtime.scheduler as sched_mod
+
+        sleeps: list[float] = []
+        monkeypatch.setattr(sched_mod.time, "sleep",
+                            lambda s: sleeps.append(s))
+        marker = tmp_path / "raise-twice-nosleep"
+        report = run_parallel(
+            [Job(WorkerFault(_ok_job, "raise", str(marker), times=2),
+                 name="flaky")],
+            retries=2, retry_backoff=0.0, backoff_seed=1)
+        assert report.results[0].ok and report.results[0].attempts == 3
+        assert sleeps == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 40))
+    def test_identical_seed_yields_identical_schedule(self, seed, rounds):
+        def schedule():
+            rng = np.random.default_rng(np.random.SeedSequence(seed))
+            return [compute_backoff(0.3, r, rng) for r in range(1, rounds + 1)]
+
+        assert schedule() == schedule()
+
+    def test_schedule_identical_across_processes(self):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=_send_backoff_schedule, args=(child, 123))
+        proc.start()
+        remote = parent.recv()
+        proc.join(timeout=10)
+        assert remote == _backoff_schedule(123)
 
 
 # ----------------------------------------------------------- pool breakage
@@ -540,3 +606,225 @@ class TestWorkerPoolChaos:
         pool.close()  # close after carnage still cleans the directory
         assert not root.exists()
         assert sorted(shm_dir.glob("repro-pool-*")) == []
+
+# ------------------------------------------------- fabric split-brain battery
+
+from repro.fabric import highest_token, try_acquire  # noqa: E402
+from repro.fabric.probe import probe_job  # noqa: E402
+
+_FORK = __import__("multiprocessing").get_context("fork")
+# Aggressive timings so steals happen in test time; worker_timeout is
+# deliberately *shorter* than lease_timeout, so by the time a token is
+# stealable its dead owner's daemon heartbeat is unambiguously stale.
+_FAB_CFG = FabricConfig(lease_timeout=1.0, renew_interval=0.1,
+                        poll_interval=0.05, worker_timeout=0.5, grace=30.0)
+
+
+def _fabric_daemon(fabric_dir, worker_id, supervise=False, idle_exit=None,
+                   max_jobs=None):
+    """Fork-process target: one worker daemon draining the shared dir."""
+    queue = FabricQueue(fabric_dir)
+    worker = FabricWorker(queue, worker_id=worker_id, supervise=supervise)
+    worker.work(idle_exit=idle_exit, max_jobs=max_jobs)
+
+
+def _wait_for(predicate, timeout=60.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestFabricSplitBrain:
+    def test_sigkill_mid_lease_stolen_and_bit_identical(self, tmp_path):
+        """Daemon SIGKILLed mid-job: the job is re-leased by a second
+        daemon, resumed from its fabric checkpoint, recorded as an
+        ``orphaned`` steal, and completes bit-identically."""
+        import threading
+
+        baseline = _train_job(iterations=3)
+        fabric = tmp_path / "fabric"
+        queue = FabricQueue(fabric, config=_FAB_CFG)
+        hang = tmp_path / "hang"
+        daemon_a = _FORK.Process(target=_fabric_daemon,
+                                 args=(str(fabric), "daemon-a"))
+        daemon_a.start()
+        spawned: dict = {}
+        chaos_errors: list[str] = []
+
+        def chaos():
+            # The job claims `hang` inside iteration 1, after iteration
+            # 1's checkpoint hit the shared dir — that's "mid-lease".
+            if not _wait_for(hang.exists, timeout=120.0):
+                chaos_errors.append("job never reached the hang marker")
+                return
+            os.kill(daemon_a.pid, signal.SIGKILL)
+            daemon_b = _FORK.Process(target=_fabric_daemon,
+                                     args=(str(fabric), "daemon-b"),
+                                     kwargs={"idle_exit": 2.0})
+            daemon_b.start()
+            spawned["daemon_b"] = daemon_b
+
+        thread = threading.Thread(target=chaos)
+        thread.start()
+        report = run_parallel(
+            [Job(_train_job, name="stolen-cell", checkpointable=True,
+                 kwargs={"hang_marker": str(hang)})],
+            fabric_dir=fabric, checkpoint_every=1)
+        thread.join()
+        assert chaos_errors == []
+        daemon_a.join(5.0)
+        spawned["daemon_b"].join(30.0)
+
+        result = report.results[0]
+        assert result.ok
+        # Resumed on daemon-b from daemon-a's checkpoint: same bits as a
+        # run that was never interrupted.
+        _assert_same_outcome(result.value, baseline)
+        # The steal was surfaced as an orphaned attempt in the report.
+        assert "orphaned" in [r.error_kind for _, r in report.retried]
+        job_id, = queue.entries()
+        envelope = queue.result_envelope(job_id)
+        assert envelope["worker"] == "daemon-b"
+        assert envelope["token"] == 2  # the thief's newer fencing token
+        assert not report.degraded
+
+    def test_sigstop_zombie_fences_itself(self, tmp_path):
+        """Daemon SIGSTOPped past the heartbeat timeout: its job is
+        stolen and completed; on SIGCONT the zombie must abandon its
+        result (``lease_lost``) — the committed envelope is the thief's."""
+        fabric = tmp_path / "fabric"
+        queue = FabricQueue(fabric, config=_FAB_CFG)
+        started = tmp_path / "started"
+        release = tmp_path / "release"
+        job = Job(probe_job, name="held",
+                  kwargs={"steps": 16, "start_marker": str(started),
+                          "hold_until": str(release), "seed": 3})
+        job_id = "000001-held"
+        queue.enqueue(job, job_id, job.payload())
+
+        zombie = _FORK.Process(target=_fabric_daemon,
+                               args=(str(fabric), "zombie-a"),
+                               kwargs={"idle_exit": 2.0})
+        zombie.start()
+        assert _wait_for(started.exists)
+        os.kill(zombie.pid, signal.SIGSTOP)  # freeze mid-job: heartbeats stop
+        time.sleep(_FAB_CFG.lease_timeout + 0.3)  # let token t1 go stale
+
+        thief = _FORK.Process(target=_fabric_daemon,
+                              args=(str(fabric), "thief-b"),
+                              kwargs={"idle_exit": 2.0})
+        thief.start()
+        assert _wait_for(lambda: (highest_token(queue.lease_dir(job_id))
+                                  or (0,))[0] >= 2)
+        release.touch()
+        assert _wait_for(lambda: queue.result_envelope(job_id) is not None)
+        os.kill(zombie.pid, signal.SIGCONT)
+        zombie.join(30.0)
+        thief.join(30.0)
+
+        envelope = queue.result_envelope(job_id)
+        assert envelope["token"] == 2 and envelope["worker"] == "thief-b"
+        kinds = {record["error_kind"] for record in queue.attempts(job_id)}
+        assert "lease_lost" in kinds  # the zombie abandoned, not published
+        assert "orphaned" in kinds    # the thief logged the dead-looking owner
+        result = queue.load_result(job_id, envelope)
+        assert result.ok
+        assert result.value == probe_job(steps=16, seed=3)  # markers change nothing
+
+    def test_clock_skewed_steal_makes_owner_abandon(self, tmp_path):
+        """A claimant whose clock runs fast steals a *healthy* lease.
+        Both sides are alive: the owner must fence itself and abandon,
+        and nobody records it as orphaned (it reports for itself)."""
+        fabric = tmp_path / "fabric"
+        queue = FabricQueue(fabric, config=_FAB_CFG)
+        started = tmp_path / "started"
+        release = tmp_path / "release"
+        job = Job(probe_job, name="skewed",
+                  kwargs={"steps": 16, "start_marker": str(started),
+                          "hold_until": str(release), "seed": 4})
+        job_id = "000001-skewed"
+        queue.enqueue(job, job_id, job.payload())
+
+        owner = _FORK.Process(target=_fabric_daemon,
+                              args=(str(fabric), "owner-a"),
+                              kwargs={"idle_exit": 2.0})
+        owner.start()
+        assert _wait_for(started.exists)
+        # Steal with a clock 60s ahead: to the thief, the owner's fresh
+        # heartbeat looks long-expired even though it renews constantly.
+        lease = try_acquire(queue.lease_dir(job_id), job_id, "skewed-thief",
+                            _FAB_CFG.lease_timeout, now=time.time() + 60.0)
+        assert lease is not None and lease.token == 2
+        assert lease.superseded_owner == "owner-a"
+        # The thief starts executing right away (its keeper renews t2 —
+        # otherwise the fenced owner would steal the job *back* at t3).
+        import threading
+
+        entry = queue.read_entry(job_id)
+        thief = FabricWorker(queue, worker_id="skewed-thief", supervise=False)
+        thief_thread = threading.Thread(target=thief._execute,
+                                        args=(entry, lease))
+        thief_thread.start()
+        release.touch()
+        thief_thread.join(30.0)
+        owner.join(30.0)  # owner finishes, fences itself, abandons, idles out
+
+        envelope = queue.result_envelope(job_id)
+        assert envelope["token"] == 2 and envelope["worker"] == "skewed-thief"
+        records = queue.attempts(job_id)
+        # Exactly one containment record: the owner's self-report.  The
+        # live owner is never double-logged as orphaned by its thief.
+        assert [r["error_kind"] for r in records] == ["lease_lost"]
+        assert records[0]["owner"] == "owner-a"
+        assert queue.load_result(job_id, envelope).ok
+
+    def test_truncated_queue_entry_quarantined(self, tmp_path):
+        """A damaged entry is classified queue_corrupt, moved aside, and
+        answered — it can never wedge the scan loop."""
+        queue = FabricQueue(tmp_path / "fabric", config=_FAB_CFG)
+        job = Job(_ok_job, kwargs={"value": 9}, name="damaged")
+        queue.enqueue(job, "000001-damaged", job.payload())
+        truncate_queue_entry(queue, "000001-damaged")
+
+        worker = FabricWorker(queue, worker_id="contain", supervise=False)
+        assert worker.scan_once()
+        envelope = queue.result_envelope("000001-damaged")
+        assert envelope["error_kind"] == "queue_corrupt"
+        assert queue.entries() == []  # quarantined, not rescanned
+        assert (queue.quarantine_dir / "000001-damaged.json").exists()
+        result = queue.load_result("000001-damaged", envelope)
+        assert not result.ok and result.error_kind == "queue_corrupt"
+
+    def test_two_daemons_one_queue_bit_identical_to_single_host(self, tmp_path):
+        """The acceptance sweep: two supervised daemons race over one
+        queue; every cell matches a single-host run_parallel bit for bit."""
+        def jobs():
+            return [Job(probe_job, name=f"cell-{s}",
+                        kwargs={"steps": 24, "seed": s}) for s in range(6)]
+
+        baseline = run_parallel(jobs(), max_workers=2)
+        fabric = tmp_path / "fabric"
+        queue = FabricQueue(fabric, config=_FAB_CFG)
+        daemons = [
+            _FORK.Process(target=_fabric_daemon,
+                          args=(str(fabric), f"sweeper-{i}"),
+                          kwargs={"idle_exit": 2.0, "supervise": True})
+            for i in range(2)
+        ]
+        for proc in daemons:
+            proc.start()
+        report = run_parallel(jobs(), fabric_dir=fabric)
+        for proc in daemons:
+            proc.join(60.0)
+
+        assert not report.degraded and report.n_failed == 0
+        assert ([r.name for r in report.results]
+                == [r.name for r in baseline.results])
+        for ours, reference in zip(report.results, baseline.results):
+            assert ours.value == reference.value  # bit-identical cross-host
+        committed = {queue.result_envelope(job_id)["worker"]
+                     for job_id in queue.entries()}
+        assert committed <= {"sweeper-0", "sweeper-1"}

@@ -404,3 +404,70 @@ class TestStoreBlobCache:
         first.pop("w")  # mutating the returned *dict* must not poison the cache
         second, _ = store.get(SPEC)
         assert "w" in second
+
+
+class TestCrashConsistency:
+    """Durability ordering of the put path: fsync *before* rename.
+
+    The atomic rename makes a put invisible-or-complete against process
+    crashes; the fsyncs make it so against power loss too — a name must
+    never land over bytes the disk has not accepted yet.
+    """
+
+    @staticmethod
+    def _instrument(monkeypatch):
+        import os as os_mod
+
+        events = []
+        real_fsync, real_replace = os_mod.fsync, os_mod.replace
+
+        def spy_fsync(fd):
+            events.append(("fsync", fd))
+            return real_fsync(fd)
+
+        def spy_replace(src, dst, **kwargs):
+            events.append(("replace", str(dst)))
+            return real_replace(src, dst, **kwargs)
+
+        monkeypatch.setattr(os_mod, "fsync", spy_fsync)
+        monkeypatch.setattr(os_mod, "replace", spy_replace)
+        return events
+
+    def test_durable_save_fsyncs_before_rename(self, tmp_path, monkeypatch):
+        from repro.nn.serialization import save_state
+
+        events = self._instrument(monkeypatch)
+        save_state(_state(), tmp_path / "ckpt.npz", durable=True)
+        kinds = [kind for kind, _ in events]
+        rename_at = kinds.index("replace")
+        assert "fsync" in kinds[:rename_at]  # data on disk before the name
+        assert "fsync" in kinds[rename_at + 1:]  # then the directory entry
+
+    def test_plain_save_skips_fsync(self, tmp_path, monkeypatch):
+        from repro.nn.serialization import save_state
+
+        events = self._instrument(monkeypatch)
+        save_state(_state(), tmp_path / "ckpt.npz", durable=False)
+        assert [kind for kind, _ in events] == ["replace"]
+
+    def test_store_put_is_always_durable(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path / "store")
+        events = self._instrument(monkeypatch)
+        store.put(SPEC, _state())
+        renames = [i for i, (kind, _) in enumerate(events) if kind == "replace"]
+        assert len(renames) == 2  # blob, then sidecar
+        for rename_at in renames:  # every rename rides behind an fsync
+            assert events[rename_at - 1][0] == "fsync"
+
+    def test_truncation_during_put_is_detected_and_repairable(self, tmp_path):
+        from repro.faultinject import truncate_blob
+
+        store = ArtifactStore(tmp_path / "store")
+        entry = store.put(SPEC, _state(3.0))
+        truncate_blob(store, entry.key, keep_bytes=8)
+        assert any("truncated" in p for p in store.verify())
+        assert store.get(SPEC) is None  # corruption reads as a miss
+        store.put(SPEC, _state(3.0))  # retraining the cell repairs in place
+        state, _ = store.get(SPEC)
+        np.testing.assert_array_equal(state["w"], np.full((3, 3), 3.0))
+        assert store.verify() == []
