@@ -23,8 +23,42 @@ import numpy as np
 from .. import nn
 from ..nn import Tensor
 from ..rl.policy import ActorCritic
+from ..telemetry import current_telemetry
 
 __all__ = ["PgdAttack", "CriticPgdAttack", "StrategicallyTimedAttack"]
+
+
+def _input_gradient(x: Tensor, obs: np.ndarray) -> tuple[np.ndarray, bool]:
+    """The input gradient and whether it carries any signal.
+
+    A ``None`` gradient means the loss never reached the input — the
+    victim's graph was detached (e.g. its forward ran under ``no_grad``
+    or rebuilt its inputs as fresh leaves).  An all-zero gradient is the
+    same silent no-op one ``np.sign`` later: the PGD step goes nowhere.
+    """
+    if x.grad is None:
+        return np.zeros_like(obs), False
+    return x.grad, bool(np.any(x.grad))
+
+
+def _raise_dead_graph(attack, steps: int) -> None:
+    """Record and refuse an attack whose every PGD step had zero gradient.
+
+    Silently returning the random init here is the bug this guards
+    against: the "adversarial" evaluation would really measure noise
+    while reporting PGD results.  The counter fires before the raise so
+    sweep telemetry shows dead-graph matches even when a caller
+    swallows the exception.
+    """
+    telemetry = current_telemetry()
+    if telemetry is not None:
+        telemetry.metrics.counter("attacks.pgd.dead_graph").inc()
+    raise RuntimeError(
+        f"{type(attack).__name__}: all {steps} PGD steps produced a zero or "
+        "absent input gradient — the victim's graph is detached from the "
+        "perturbed observation (forward under no_grad, or inputs rebuilt as "
+        "fresh leaves), so the attack would silently degenerate to its "
+        "random initialization while still reporting adversarial results")
 
 
 class PgdAttack:
@@ -53,16 +87,20 @@ class PgdAttack:
         """
         anchor = self._anchor(obs)
         delta = self._rng.uniform(-0.25, 0.25, size=obs.shape)
+        live_steps = 0
         for _ in range(self.steps):
             x = Tensor(obs + delta, requires_grad=True)
             kl = anchor.kl(self.victim.distribution(x)).mean()
             for p in self.victim.parameters():
                 p.zero_grad()
             kl.backward()
-            grad = x.grad if x.grad is not None else np.zeros_like(obs)
+            grad, live = _input_gradient(x, obs)
+            live_steps += live
             delta = np.clip(delta + self.step_size * np.sign(grad), -1.0, 1.0)
         for p in self.victim.parameters():
             p.zero_grad()
+        if self.steps > 0 and live_steps == 0:
+            _raise_dead_graph(self, self.steps)
         return delta
 
 
@@ -79,16 +117,20 @@ class CriticPgdAttack:
     def action(self, obs: np.ndarray, rng: np.random.Generator | None = None,
                deterministic: bool = True) -> np.ndarray:
         delta = self._rng.uniform(-0.25, 0.25, size=obs.shape)
+        live_steps = 0
         for _ in range(self.steps):
             x = Tensor(obs + delta, requires_grad=True)
             value = self.victim.critic(x).sum()
             for p in self.victim.parameters():
                 p.zero_grad()
             value.backward()
-            grad = x.grad if x.grad is not None else np.zeros_like(obs)
+            grad, live = _input_gradient(x, obs)
+            live_steps += live
             delta = np.clip(delta - self.step_size * np.sign(grad), -1.0, 1.0)
         for p in self.victim.parameters():
             p.zero_grad()
+        if self.steps > 0 and live_steps == 0:
+            _raise_dead_graph(self, self.steps)
         return delta
 
 
@@ -98,32 +140,80 @@ class StrategicallyTimedAttack:
     Criticality is measured by the victim's action-preference strength
     ‖μ(s)‖∞: when the victim is about to act decisively, a perturbation
     is most damaging.  The budget is spent on the top fraction of steps.
+
+    The threshold comes from :meth:`calibrate` when ``calibration_obs``
+    is given.  Without it the attack **self-calibrates lazily**: the
+    first ``calibration_steps`` observations it sees (roughly one
+    episode) double as the calibration sample, with the running quantile
+    deciding attack/skip in the meantime, and the threshold freezing —
+    recorded in :attr:`calibration` — once the sample is full.  The old
+    behaviour (an uncalibrated instance defaulted its threshold to 0.0,
+    below every preference ``‖μ(s)‖∞ ≥ 0``) silently attacked on 100% of
+    steps instead of ``attack_fraction``.
     """
 
     def __init__(self, victim: ActorCritic, inner_attack, attack_fraction: float = 0.3,
-                 calibration_obs: np.ndarray | None = None):
+                 calibration_obs: np.ndarray | None = None,
+                 calibration_steps: int = 128):
         if not 0.0 < attack_fraction <= 1.0:
             raise ValueError("attack_fraction must be in (0, 1]")
+        if calibration_steps < 1:
+            raise ValueError("calibration_steps must be >= 1")
         self.victim = victim
         self.inner = inner_attack
         self.attack_fraction = attack_fraction
-        self._threshold = 0.0
+        self.calibration_steps = int(calibration_steps)
+        self._threshold: float | None = None
+        self._warmup_prefs: list[float] = []
+        # Provenance of the active threshold (for reproducibility records):
+        # {"threshold", "n_obs", "attack_fraction", "source"} once set.
+        self.calibration: dict | None = None
         if calibration_obs is not None:
             self.calibrate(calibration_obs)
+
+    @property
+    def threshold(self) -> float | None:
+        """The frozen criticality threshold; None while still calibrating."""
+        return self._threshold
 
     def preference(self, obs: np.ndarray) -> float:
         with nn.no_grad():
             mean = self.victim.distribution(obs).mean.data
         return float(np.abs(mean).max())
 
+    def _freeze_threshold(self, prefs, source: str) -> float:
+        prefs = np.asarray(prefs, dtype=np.float64)
+        self._threshold = float(np.quantile(prefs, 1.0 - self.attack_fraction))
+        self.calibration = {
+            "threshold": self._threshold,
+            "n_obs": int(prefs.size),
+            "attack_fraction": self.attack_fraction,
+            "source": source,
+        }
+        return self._threshold
+
     def calibrate(self, observations: np.ndarray) -> float:
         """Set the criticality threshold from a batch of (normalized) obs."""
-        prefs = np.array([self.preference(o) for o in np.atleast_2d(observations)])
-        self._threshold = float(np.quantile(prefs, 1.0 - self.attack_fraction))
-        return self._threshold
+        prefs = [self.preference(o) for o in np.atleast_2d(observations)]
+        return self._freeze_threshold(prefs, source="explicit")
 
     def action(self, obs: np.ndarray, rng: np.random.Generator | None = None,
                deterministic: bool = True) -> np.ndarray:
-        if self.preference(obs) < self._threshold:
+        pref = self.preference(obs)
+        if self._threshold is None:
+            # Lazy self-calibration: this observation joins the sample,
+            # and the running quantile stands in for the threshold so
+            # the attack rate tracks attack_fraction even mid-warmup.
+            self._warmup_prefs.append(pref)
+            if len(self._warmup_prefs) >= self.calibration_steps:
+                threshold = self._freeze_threshold(self._warmup_prefs,
+                                                   source="lazy")
+                self._warmup_prefs = []
+            else:
+                threshold = float(np.quantile(self._warmup_prefs,
+                                              1.0 - self.attack_fraction))
+        else:
+            threshold = self._threshold
+        if pref < threshold:
             return np.zeros_like(obs)
         return self.inner.action(obs, rng, deterministic=deterministic)

@@ -155,6 +155,34 @@ class OpponentEnv(Env):
         self._victim_obs = victim_obs
         return adversary_obs
 
+    def _body_state(self, info: dict, key: str) -> np.ndarray:
+        """``info[key]`` validated as a 1-d float vector, or a clear error.
+
+        ``np.asarray(info.get(key), dtype=np.float64)`` on a game that
+        omits the key yields a silent 0-d NaN array (``asarray(None)``)
+        that poisons the IMAP KNN density features downstream — the
+        regularizer bonuses degrade to garbage without ever crashing.
+        """
+        value = info.get(key)
+        if value is None:
+            raise KeyError(
+                f"OpponentEnv: {type(self.game).__name__}.step() info is "
+                f"missing {key!r} — two-player games must publish per-body "
+                "state vectors for the IMAP density features (see "
+                "repro.envs.multiagent.core); got info keys "
+                f"{sorted(info)}")
+        try:
+            state = np.asarray(value, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"OpponentEnv: info[{key!r}] is not convertible to a float "
+                f"vector ({exc})") from None
+        if state.ndim != 1 or state.size == 0:
+            raise ValueError(
+                f"OpponentEnv: info[{key!r}] must be a non-empty 1-d state "
+                f"vector, got shape {state.shape}")
+        return state
+
     def step(self, action):
         if self._victim_obs is None:
             raise RuntimeError("call reset() before step()")
@@ -170,6 +198,6 @@ class OpponentEnv(Env):
         info = dict(info)
         info["victim_reward"] = victim_reward
         info["success"] = victim_win  # "the victim succeeds"
-        info["knn_victim"] = np.asarray(info.get("victim_state"), dtype=np.float64)
-        info["knn_adversary"] = np.asarray(info.get("adversary_state"), dtype=np.float64)
+        info["knn_victim"] = self._body_state(info, "victim_state")
+        info["knn_adversary"] = self._body_state(info, "adversary_state")
         return adversary_obs, adversary_reward, done, False, info

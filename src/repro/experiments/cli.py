@@ -7,6 +7,10 @@ Examples::
     python -m repro.experiments fig5 --scale short --games YouShallNotPass-v0
     python -m repro.experiments fig6 fig7 --scale smoke
     python -m repro.experiments table1 fig4 fig6 --jobs 3
+    python -m repro.experiments league --rounds 2 --jobs 4
+
+``league`` is a subcommand with its own flag surface (rosters, rounds,
+counter-training, ``--resume``); see :mod:`repro.league.cli`.
 
 ``--jobs N`` runs the requested experiments as independent cells on the
 process-pool scheduler (:mod:`repro.runtime.scheduler`); output is still
@@ -192,6 +196,15 @@ def _make_telemetry(args) -> Telemetry | None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    import sys
+
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "league":
+        # The league has its own flag surface (rosters, rounds,
+        # counter-training); delegate before argparse sees the rest.
+        from ..league.cli import main as league_main
+
+        return league_main(argv[1:])
     parser = build_parser()
     args = apply_resume(parser.parse_args(argv), parser)
     if args.fabric is not None and args.pool:

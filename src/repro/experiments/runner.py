@@ -34,9 +34,9 @@ from ..zoo import get_game_victim, get_victim
 from .config import ExperimentScale
 
 __all__ = [
-    "ATTACK_NAMES", "parse_attack_name", "victim_for", "game_victim_for",
-    "attack_config_for", "make_adversary_env", "train_single_agent_attack",
-    "train_game_attack", "evaluate_cell",
+    "ATTACK_NAMES", "parse_attack_name", "victim_for", "victim_config_for",
+    "game_victim_for", "attack_config_for", "make_adversary_env",
+    "train_single_agent_attack", "train_game_attack", "evaluate_cell",
 ]
 
 ATTACK_NAMES = [
@@ -61,14 +61,26 @@ def parse_attack_name(name: str) -> dict:
     raise ValueError(f"unknown attack {name!r}; options: {ATTACK_NAMES + ['apmarl']}")
 
 
-def victim_for(env_id: str, defense: str, scale: ExperimentScale, seed: int = 0) -> ActorCritic:
-    config = DefenseTrainConfig(
+def victim_config_for(env_id: str, scale: ExperimentScale, seed: int = 0) -> DefenseTrainConfig:
+    """The defense training config :func:`victim_for` uses for this cell.
+
+    Exposed separately so callers that only need the victim's
+    content-address spec (e.g. league match keys) can compute it without
+    training — the config *is* the victim's identity.
+    """
+    return DefenseTrainConfig(
         iterations=scale.victim_iterations,
         steps_per_iteration=scale.steps_per_iteration,
         seed=seed,
         epsilon=default_epsilon(env_id),
     )
-    return get_victim(env_id, defense, config=config, budget_tag=scale.budget_tag, seed=seed)
+
+
+def victim_for(env_id: str, defense: str, scale: ExperimentScale, seed: int = 0,
+               store: ArtifactStore | None = None) -> ActorCritic:
+    config = victim_config_for(env_id, scale, seed=seed)
+    return get_victim(env_id, defense, config=config, budget_tag=scale.budget_tag,
+                      seed=seed, store=store)
 
 
 def game_victim_for(game_id: str, scale: ExperimentScale, seed: int = 0) -> ActorCritic:
@@ -209,6 +221,11 @@ def train_single_agent_attack(env_id: str, victim: ActorCritic, attack: str,
     try:
         if spec["family"] == "sarl":
             result = train_sarl(adv_env, config, callback=callback)
+        elif spec["family"] == "apmarl":
+            # AP-MARL is the shared trainer with no regularizer; on a
+            # StatePerturbationEnv it doubles as a policy-optimization
+            # perturbation baseline (the league's population uses it).
+            result = train_apmarl(adv_env, config, callback=callback)
         else:
             result = train_imap(adv_env, spec["regularizer"], config,
                                 use_bias_reduction=spec["use_br"], callback=callback)

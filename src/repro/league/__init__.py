@@ -1,0 +1,38 @@
+"""Population-scale attack league (the many-attackers × many-victims view).
+
+Gleave et al. showed adversarial policies are a population phenomenon;
+the paper's Tables 1–3 are one slice of a bigger matrix.  This package
+plays the whole matrix as a round-based tournament on top of the repo's
+scheduling/store stack:
+
+* :mod:`~repro.league.spec` — rosters, :class:`LeagueConfig`, canonical
+  content-addressed match specs;
+* :mod:`~repro.league.match` — the picklable, idempotent unit of work;
+* :mod:`~repro.league.elo` — deterministic Elo/robustness leaderboard;
+* :mod:`~repro.league.runner` — :func:`run_league`;
+* :mod:`~repro.league.cli` — the ``repro-experiments league`` subcommand.
+"""
+
+from .elo import MatchOutcome, build_leaderboard, fold_elo, leaderboard_bytes, render_leaderboard
+from .match import materialize_victim, play_match, train_counter_victim
+from .runner import LeagueResult, RoundReport, run_league
+from .spec import (
+    DEFAULT_ATTACKERS,
+    DEFAULT_VICTIMS,
+    GRADIENT_ATTACKERS,
+    LeagueConfig,
+    league_key,
+    league_spec,
+    match_spec,
+    parse_attacker_name,
+    parse_victim_name,
+)
+
+__all__ = [
+    "MatchOutcome", "build_leaderboard", "fold_elo", "leaderboard_bytes",
+    "render_leaderboard", "materialize_victim", "play_match",
+    "train_counter_victim", "LeagueResult", "RoundReport", "run_league",
+    "DEFAULT_ATTACKERS", "DEFAULT_VICTIMS", "GRADIENT_ATTACKERS",
+    "LeagueConfig", "league_key", "league_spec", "match_spec",
+    "parse_attacker_name", "parse_victim_name",
+]

@@ -1,0 +1,124 @@
+"""Elo leaderboard: deterministic fold over match records.
+
+The league's leaderboard is itself an artifact, so it has to be
+byte-reproducible.  Two rules make it so:
+
+* the fold order is fixed — outcomes are sorted by ``(round, attack,
+  victim)`` before rating updates, so scheduling order (which varies
+  across pools/fabrics) cannot leak into the ratings;
+* the persisted form is **canonical JSON** (:func:`leaderboard_bytes`),
+  not an npz blob — ``np.savez`` embeds zip timestamps, canonical JSON
+  of a pure-data doc does not.
+
+Ratings use the standard logistic Elo update with the attacker's score
+set to its ASR (the victim scores ``1 - ASR``), applied zero-sum: a
+match moves the attacker and the victim by opposite amounts, so the
+population mean rating is invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..eval.tables import render_table
+from ..store import canonical_json
+
+__all__ = ["MatchOutcome", "fold_elo", "build_leaderboard",
+           "leaderboard_bytes", "render_leaderboard"]
+
+
+@dataclass(frozen=True)
+class MatchOutcome:
+    """One played match, as the leaderboard sees it."""
+
+    round: int
+    attack: str
+    victim: str
+    asr: float
+    victim_reward: float
+
+
+def _expected(rating_a: float, rating_b: float) -> float:
+    return 1.0 / (1.0 + 10.0 ** ((rating_b - rating_a) / 400.0))
+
+
+def fold_elo(outcomes: list[MatchOutcome], k: float = 32.0,
+             initial: float = 1000.0) -> dict[str, float]:
+    """Fold outcomes into per-entrant ratings, order-independently.
+
+    The input list may arrive in any order (scheduler completion order
+    is nondeterministic); the fold sorts first, so identical outcome
+    *sets* always produce identical ratings.
+    """
+    ratings: dict[str, float] = {}
+    for outcome in sorted(outcomes,
+                          key=lambda o: (o.round, o.attack, o.victim)):
+        ra = ratings.setdefault(outcome.attack, initial)
+        rv = ratings.setdefault(outcome.victim, initial)
+        score = float(outcome.asr)  # attacker's observed score in [0, 1]
+        delta = k * (score - _expected(ra, rv))
+        ratings[outcome.attack] = ra + delta
+        ratings[outcome.victim] = rv - delta
+    return ratings
+
+
+def build_leaderboard(league_key: str, league_spec: dict, round_index: int,
+                      outcomes: list[MatchOutcome], k: float,
+                      initial: float) -> dict:
+    """The canonical leaderboard doc for one round (pure data, no floats
+    beyond what canonical JSON round-trips exactly)."""
+    ratings = fold_elo(outcomes, k=k, initial=initial)
+    attackers = sorted({o.attack for o in outcomes})
+    victims = sorted({o.victim for o in outcomes})
+    mean_asr = {
+        a: float(np.mean([o.asr for o in outcomes if o.attack == a]))
+        for a in attackers
+    }
+    mean_robustness = {
+        v: float(np.mean([1.0 - o.asr for o in outcomes if o.victim == v]))
+        for v in victims
+    }
+    standings = sorted(
+        ({"name": name, "rating": round(rating, 6),
+          "role": "attacker" if name in mean_asr else "victim",
+          "score": round(mean_asr.get(name, mean_robustness.get(name, 0.0)), 6)}
+         for name, rating in ratings.items()),
+        key=lambda row: (-row["rating"], row["name"]))
+    return {
+        "kind": "league_leaderboard",
+        "league": league_key,
+        "spec": league_spec,
+        "round": round_index,
+        "matches": [
+            {"round": o.round, "attack": o.attack, "victim": o.victim,
+             "asr": round(float(o.asr), 6),
+             "victim_reward": round(float(o.victim_reward), 6)}
+            for o in sorted(outcomes,
+                            key=lambda o: (o.round, o.attack, o.victim))
+        ],
+        "standings": standings,
+    }
+
+
+def leaderboard_bytes(doc: dict) -> bytes:
+    """The persisted byte form — canonical JSON, newline-terminated.
+
+    This is the league's byte-identity contract: same matches, same
+    bytes, regardless of scheduler, lane, host, or wall-clock.
+    """
+    return canonical_json(doc).encode("utf-8") + b"\n"
+
+
+def render_leaderboard(doc: dict) -> str:
+    """Human-readable standings via the shared table renderer."""
+    headers = ["#", "entrant", "role", "Elo", "ASR / robustness"]
+    rows = [
+        [str(i + 1), row["name"], row["role"],
+         f"{row['rating']:.1f}", f"{row['score']:.3f}"]
+        for i, row in enumerate(doc["standings"])
+    ]
+    title = (f"League {doc['league'][:12]} — round {doc['round'] + 1} "
+             f"({len(doc['matches'])} matches)")
+    return render_table(headers, rows, title=title)

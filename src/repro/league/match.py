@@ -1,0 +1,191 @@
+"""League match execution: self-contained, picklable, idempotent.
+
+:func:`play_match` is the unit of work the league schedules through
+:func:`~repro.runtime.run_parallel`.  It takes only plain data — the
+canonical match doc from :func:`~repro.league.spec.match_spec` and a
+store root path — so it runs identically inline, in a process pool, in a
+persistent :class:`~repro.runtime.WorkerPool`, or on a fabric daemon on
+another host.  Every heavy intermediate (victim, learned attack, the
+match result itself) goes through the content-addressed store, so the
+function is idempotent: replaying a match is a read, not a recompute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attacks import RandomAttackPolicy
+from ..attacks.gradient import CriticPgdAttack, PgdAttack, StrategicallyTimedAttack
+from ..defenses import DefenseTrainConfig
+from ..defenses.perturbed_training import PolicyPerturbation, train_with_perturbation
+from ..eval import evaluate_single_agent
+from ..envs import make
+from ..experiments.config import SCALES
+from ..experiments.runner import train_single_agent_attack
+from ..rl.policy import ActorCritic
+from ..rl.ppo import PPOConfig
+from ..store import ArtifactStore
+from ..zoo import get_victim
+from ..zoo.train import training_env_factory
+from .spec import parse_attacker_name
+
+__all__ = ["play_match", "materialize_victim", "build_gradient_attack",
+           "train_counter_victim", "defense_config_from_dict"]
+
+
+def defense_config_from_dict(doc: dict) -> DefenseTrainConfig:
+    """Invert ``dataclasses.asdict`` on a :class:`DefenseTrainConfig`."""
+    doc = dict(doc)
+    doc["hidden_sizes"] = tuple(doc["hidden_sizes"])
+    doc["ppo"] = PPOConfig(**doc["ppo"])
+    return DefenseTrainConfig(**doc)
+
+
+def materialize_victim(spec: dict, store: ArtifactStore) -> ActorCritic:
+    """Victim parameters from a victim *recipe* spec, via the store.
+
+    ``kind == "victim"`` specs are the zoo's own content-address specs:
+    :func:`~repro.zoo.get_victim` resolves them (store hit or train).
+    ``kind == "league_victim"`` specs describe a counter-trained
+    generation; they are loaded from the store when present and rebuilt
+    deterministically by :func:`train_counter_victim` when not — which
+    is what lets a fabric worker on a fresh host play matches against a
+    victim it never saw trained.
+    """
+    kind = spec.get("kind")
+    if kind == "victim":
+        return get_victim(spec["env_id"], spec["defense"],
+                          config=defense_config_from_dict(spec["config"]),
+                          budget_tag=spec["budget_tag"], seed=spec["seed"],
+                          store=store)
+    if kind == "league_victim":
+        hit = store.get(spec)
+        if hit is not None:
+            state, entry = hit
+            meta = entry.metadata
+            policy = ActorCritic(int(meta["obs_dim"]), int(meta["action_dim"]),
+                                 hidden_sizes=tuple(meta["hidden_sizes"]))
+            policy.load_checkpoint_state(state)
+            policy.freeze_normalizer()
+            return policy
+        return train_counter_victim(spec, store)
+    raise ValueError(f"unknown victim spec kind {kind!r}")
+
+
+def build_gradient_attack(method: str, victim: ActorCritic, match: dict):
+    """Construct a white-box attacker from the match doc's knobs."""
+    steps = int(match["pgd_steps"])
+    seed = int(match["seed"])
+    if method == "pgd":
+        return PgdAttack(victim, steps=steps, seed=seed)
+    if method == "critic-pgd":
+        return CriticPgdAttack(victim, steps=steps, seed=seed)
+    if method == "st-pgd":
+        # Lazily self-calibrating: the first evaluation episode doubles
+        # as the calibration sample (see attacks.gradient).
+        return StrategicallyTimedAttack(
+            victim, PgdAttack(victim, steps=steps, seed=seed),
+            attack_fraction=float(match["sta_fraction"]))
+    raise ValueError(f"unknown gradient attack {method!r}")
+
+
+def _attacker_policy(match: dict, victim: ActorCritic, store: ArtifactStore):
+    """The attack policy object for a match, plus its eval determinism."""
+    parsed = parse_attacker_name(match["attack"])
+    if parsed["family"] == "gradient":
+        return build_gradient_attack(parsed["method"], victim, match), True
+    if parsed["family"] == "random":
+        env = make(match["env_id"])
+        policy = RandomAttackPolicy(env.observation_space.shape[0],
+                                    seed=match["eval_seed"])
+        return policy, False
+    result = train_single_agent_attack(
+        match["env_id"], victim, match["attack"], SCALES[match["scale"]],
+        seed=match["seed"], epsilon=match["epsilon"], store=store)
+    assert result is not None
+    return result.policy, True
+
+
+def train_counter_victim(spec: dict, store: ArtifactStore) -> ActorCritic:
+    """Deterministically (re)build a counter-trained victim generation.
+
+    The ATLA loop generalized: materialize the base victim, materialize
+    the named attacker *against that base victim* (cache-shared with the
+    round's matches), then retrain the victim with the attacker as the
+    observation-perturbation model.  The result is stored under ``spec``
+    so every worker resolves the same generation to the same parameters.
+    """
+    base = materialize_victim(spec["base"], store)
+    parsed = parse_attacker_name(spec["attacker"])
+    if parsed["family"] == "gradient":
+        adversary = build_gradient_attack(
+            parsed["method"], base,
+            {"pgd_steps": spec["pgd_steps"], "seed": spec["attack_seed"],
+             "sta_fraction": spec["sta_fraction"]})
+    elif parsed["family"] == "random":
+        env = make(spec["env_id"])
+        adversary = RandomAttackPolicy(env.observation_space.shape[0],
+                                       seed=spec["attack_seed"])
+    else:
+        result = train_single_agent_attack(
+            spec["env_id"], base, spec["attacker"], SCALES[spec["scale"]],
+            seed=spec["attack_seed"], epsilon=spec["epsilon"], store=store)
+        assert result is not None
+        adversary = result.policy
+    config = DefenseTrainConfig(
+        iterations=int(spec["iterations"]),
+        steps_per_iteration=int(spec["steps_per_iteration"]),
+        seed=int(spec["seed"]),
+        epsilon=float(spec["epsilon"]),
+    )
+    epsilon = float(spec["epsilon"])
+    policy = train_with_perturbation(
+        training_env_factory(spec["env_id"]), config,
+        lambda rng: PolicyPerturbation(adversary, epsilon, rng))
+    store.put(spec, policy.checkpoint_state(), metadata={
+        "env_id": spec["env_id"],
+        "defense": spec["defense"],
+        "attacker": spec["attacker"],
+        "round": spec["round"],
+        "obs_dim": policy.obs_dim,
+        "action_dim": policy.action_dim,
+        "hidden_sizes": list(config.hidden_sizes),
+    })
+    return policy
+
+
+def play_match(match: dict, store_root: str) -> dict:
+    """Play one league match; returns (and stores) the result record.
+
+    Top-level and argument-picklable by design.  Re-checks the store
+    first so replays — including a job that was scheduled concurrently
+    with an identical one on another worker — cost one read.
+    """
+    store = ArtifactStore(store_root)
+    hit = store.get(match)
+    if hit is not None:
+        arrays, entry = hit
+        return dict(entry.metadata["record"])
+    victim = materialize_victim(match["victim"], store)
+    attack_policy, deterministic = _attacker_policy(match, victim, store)
+    evaluation = evaluate_single_agent(
+        make(match["env_id"]), victim, attack_policy,
+        epsilon=match["epsilon"], episodes=match["eval_episodes"],
+        seed=match["eval_seed"], attack_deterministic=deterministic)
+    record = {
+        "env_id": match["env_id"],
+        "victim": match["victim_name"],
+        "attack": match["attack"],
+        "asr": float(evaluation.asr),
+        "victim_reward": float(np.mean(evaluation.episode_rewards)),
+        "episodes": len(evaluation.episode_rewards),
+    }
+    calibration = getattr(attack_policy, "calibration", None)
+    if calibration is not None:
+        record["sta_calibration"] = dict(calibration)
+    store.put(match, {
+        "episode_rewards": np.asarray(evaluation.episode_rewards, dtype=np.float64),
+        "episode_successes": np.asarray(evaluation.episode_successes, dtype=np.bool_),
+        "episode_lengths": np.asarray(evaluation.episode_lengths, dtype=np.int64),
+    }, metadata={"record": record})
+    return record

@@ -1,0 +1,255 @@
+"""League identity: rosters, configs, and canonical match specs.
+
+Everything the league schedules or persists is content-addressed through
+the same canonical-JSON machinery as the rest of the store
+(:mod:`repro.store.keys`):
+
+* a **match spec** is a pure-data description of one (attacker, victim)
+  cell — victim provenance spec, attacker name, training/eval budgets,
+  seeds, code version.  Its :func:`~repro.store.spec_key` is the match's
+  identity: a rematch of the same pairing in a later round (or a resumed
+  league, or a different execution lane) hashes to the same key and is
+  served from the store instead of being replayed.
+* a **league spec** hashes the whole tournament configuration; it names
+  the league's output directory and ties leaderboard artifacts to the
+  exact roster/budget that produced them.
+
+Attacker names combine the learned families from
+:mod:`repro.experiments.runner` (``random``/``sarl``/``apmarl``/IMAP
+variants ± BR) with the white-box gradient attackers from
+:mod:`repro.attacks.gradient` (``pgd``, ``critic-pgd``, ``st-pgd``).
+Victims are named ``"<env_id>:<defense>"``; counter-trained generations
+append ``+ct<round>``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..attacks.threat_models import default_epsilon
+from ..defenses import defense_names
+from ..experiments.config import SCALES
+from ..experiments.runner import attack_config_for, parse_attack_name, victim_config_for
+from ..store import CODE_VERSION, spec_key
+from ..zoo.train import victim_spec
+
+__all__ = [
+    "GRADIENT_ATTACKERS", "DEFAULT_ATTACKERS", "DEFAULT_VICTIMS",
+    "LeagueConfig", "parse_victim_name", "parse_attacker_name",
+    "base_entrant", "counter_entrant_spec", "entrant_from_counter_spec",
+    "league_spec", "league_key", "match_spec", "config_to_doc",
+    "config_from_doc",
+]
+
+GRADIENT_ATTACKERS = ("pgd", "critic-pgd", "st-pgd")
+
+DEFAULT_ATTACKERS = (
+    "random", "sarl",
+    "imap-sc", "imap-pc", "imap-r", "imap-d",
+    "pgd", "critic-pgd", "st-pgd",
+)
+
+DEFAULT_VICTIMS = (
+    "Hopper-v0:ppo", "Hopper-v0:atla",
+    "Walker2d-v0:ppo", "Walker2d-v0:wocar",
+)
+
+
+def parse_attacker_name(name: str) -> dict:
+    """Validate a league attacker name into ``{"family": ...}`` options."""
+    name = name.lower()
+    if name in GRADIENT_ATTACKERS:
+        return {"family": "gradient", "method": name}
+    return parse_attack_name(name)  # raises ValueError on unknown names
+
+
+def parse_victim_name(name: str) -> tuple[str, str]:
+    """Split ``"<env_id>:<defense>"``; validates the defense is registered."""
+    env_id, sep, defense = name.partition(":")
+    if not sep or not env_id or not defense:
+        raise ValueError(
+            f"league victim {name!r} must be '<env_id>:<defense>', e.g. "
+            "'Hopper-v0:ppo'")
+    if defense not in defense_names():
+        raise ValueError(
+            f"league victim {name!r} names unknown defense {defense!r}; "
+            f"options: {defense_names()}")
+    return env_id, defense
+
+
+@dataclass(frozen=True)
+class LeagueConfig:
+    """One tournament: who plays whom, for how long, at what budget."""
+
+    attackers: tuple[str, ...] = DEFAULT_ATTACKERS
+    victims: tuple[str, ...] = DEFAULT_VICTIMS
+    rounds: int = 1
+    scale: str = "smoke"
+    seed: int = 0
+    eval_seed: int = 1000
+    # Retrain the worst victim against the best attacker between rounds
+    # (the ATLA loop generalized to a league).
+    counter_training: bool = False
+    # White-box attacker knobs (part of the match identity).
+    pgd_steps: int = 5
+    sta_fraction: float = 0.3
+    # Elo fold parameters (leaderboard identity, not match identity).
+    elo_k: float = 32.0
+    initial_rating: float = 1000.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "attackers", tuple(self.attackers))
+        object.__setattr__(self, "victims", tuple(self.victims))
+        if not self.attackers:
+            raise ValueError("league needs at least one attacker")
+        if not self.victims:
+            raise ValueError("league needs at least one victim")
+        for name in self.attackers:
+            parse_attacker_name(name)
+        for name in self.victims:
+            parse_victim_name(name)
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.scale not in SCALES:
+            raise ValueError(f"unknown scale {self.scale!r}; "
+                             f"options: {sorted(SCALES)}")
+        if self.pgd_steps < 1:
+            raise ValueError("pgd_steps must be >= 1")
+        if not 0.0 < self.sta_fraction <= 1.0:
+            raise ValueError("sta_fraction must be in (0, 1]")
+
+
+def config_to_doc(config: LeagueConfig) -> dict:
+    """Plain-JSON record of a config (the ``league.json`` resume file)."""
+    doc = dataclasses.asdict(config)
+    doc["attackers"] = list(config.attackers)
+    doc["victims"] = list(config.victims)
+    return doc
+
+
+def config_from_doc(doc: dict, **overrides) -> LeagueConfig:
+    """Rebuild a config from :func:`config_to_doc` output (+ overrides)."""
+    merged = dict(doc)
+    merged.update({k: v for k, v in overrides.items() if v is not None})
+    merged["attackers"] = tuple(merged["attackers"])
+    merged["victims"] = tuple(merged["victims"])
+    known = {f.name for f in dataclasses.fields(LeagueConfig)}
+    unknown = sorted(set(merged) - known)
+    if unknown:
+        raise ValueError(f"league config record has unknown fields {unknown}")
+    return LeagueConfig(**merged)
+
+
+def league_spec(config: LeagueConfig) -> dict:
+    """Canonical identity of the whole tournament (roster order elided)."""
+    return {
+        "kind": "league",
+        "attackers": sorted(config.attackers),
+        "victims": sorted(config.victims),
+        "rounds": config.rounds,
+        "scale": config.scale,
+        "seed": config.seed,
+        "eval_seed": config.eval_seed,
+        "counter_training": config.counter_training,
+        "pgd_steps": config.pgd_steps,
+        "sta_fraction": config.sta_fraction,
+        "elo_k": config.elo_k,
+        "initial_rating": config.initial_rating,
+        "code_version": CODE_VERSION,
+    }
+
+
+def league_key(config: LeagueConfig) -> str:
+    return spec_key(league_spec(config))
+
+
+def base_entrant(config: LeagueConfig, name: str) -> dict:
+    """Victim-entrant doc for a zoo victim named ``"<env_id>:<defense>"``.
+
+    ``entrant["spec"]`` is the victim's full content-address spec (env,
+    defense, complete training config, budget tag, seed, code version) —
+    the *recipe*, not the parameters.  The recipe is deterministic, so
+    it is a valid identity proxy that match keys can embed without the
+    submitter having to train (or even load) the victim first.
+    """
+    env_id, defense = parse_victim_name(name)
+    scale = SCALES[config.scale]
+    config_spec = victim_spec(env_id, defense,
+                              victim_config_for(env_id, scale, seed=config.seed),
+                              scale.budget_tag, config.seed)
+    return {"name": name, "env_id": env_id, "defense": defense,
+            "spec": config_spec}
+
+
+def counter_entrant_spec(config: LeagueConfig, base: dict, attacker: str,
+                         round_index: int) -> dict:
+    """Content-address spec for a counter-trained victim generation.
+
+    Self-describing on purpose: a fabric worker on another host can
+    rebuild the victim deterministically from this spec alone (base
+    recipe → base victim → the named attacker → perturbed retraining),
+    all through store-cached intermediates.
+    """
+    scale = SCALES[config.scale]
+    env_id = base["env_id"]
+    return {
+        "kind": "league_victim",
+        "env_id": env_id,
+        "defense": base["defense"],
+        "base": base["spec"],
+        "attacker": attacker,
+        "round": round_index,
+        "scale": config.scale,
+        "iterations": scale.victim_iterations,
+        "steps_per_iteration": scale.steps_per_iteration,
+        "epsilon": default_epsilon(env_id),
+        "seed": config.seed + 7919 * (round_index + 1),
+        "attack_seed": config.seed,
+        "pgd_steps": config.pgd_steps,
+        "sta_fraction": config.sta_fraction,
+        "code_version": CODE_VERSION,
+    }
+
+
+def entrant_from_counter_spec(base_name: str, spec: dict) -> dict:
+    """Entrant doc for a counter-trained generation of ``base_name``."""
+    return {
+        "name": f"{base_name}+ct{spec['round'] + 1}",
+        "env_id": spec["env_id"],
+        "defense": spec["defense"],
+        "spec": spec,
+    }
+
+
+def match_spec(config: LeagueConfig, entrant: dict, attacker: str) -> dict:
+    """Canonical identity of one match — also its executable description.
+
+    Deliberately contains no round number: replaying the same pairing in
+    a later round *is* the same computation, so it hashes to the same
+    key and the rematch is a store hit.  Everything that does change the
+    outcome — victim recipe, attacker name and training config, eval
+    budget and seed, ε, white-box knobs, code version — is in here.
+    """
+    parsed = parse_attacker_name(attacker)
+    scale = SCALES[config.scale]
+    doc = {
+        "kind": "league_match",
+        "env_id": entrant["env_id"],
+        "victim_name": entrant["name"],
+        "victim": entrant["spec"],
+        "attack": attacker,
+        "scale": config.scale,
+        "seed": config.seed,
+        "eval_seed": config.eval_seed,
+        "eval_episodes": scale.eval_episodes,
+        "epsilon": default_epsilon(entrant["env_id"]),
+        "code_version": CODE_VERSION,
+    }
+    if parsed["family"] == "gradient":
+        doc["pgd_steps"] = config.pgd_steps
+        doc["sta_fraction"] = config.sta_fraction
+    elif parsed["family"] != "random":
+        doc["attack_config"] = dataclasses.asdict(
+            attack_config_for(scale, config.seed))
+    return doc

@@ -24,9 +24,13 @@ class TestPgdAttack:
         attack = PgdAttack(tiny_victim, steps=5, seed=0)
         obs = rng.standard_normal(11)
         eps = 0.5
+        # The attack itself must run OUTSIDE no_grad — inside, its PGD
+        # steps get no input gradient (the dead-graph condition, which
+        # now raises instead of silently returning the random init).
+        delta = attack.action(obs)
         with nn.no_grad():
             base = tiny_victim.distribution(obs).mean.data
-            pgd = tiny_victim.distribution(obs + eps * attack.action(obs)).mean.data
+            pgd = tiny_victim.distribution(obs + eps * delta).mean.data
             noise = tiny_victim.distribution(
                 obs + eps * rng.uniform(-1, 1, 11)).mean.data
         # tiny 2-iteration victims have nearly flat policies; require only
@@ -119,3 +123,99 @@ class TestMultiSeed:
         assert outcome.best.mean_reward == 1.0
         assert outcome.median_reward == 3.0
         assert outcome.seed_spread == 4.0
+
+
+class _DetachedVictim:
+    """Wrapper whose forward passes silently drop the input graph.
+
+    Reproduces the classic dead-graph failure: the attack's perturbed
+    Tensor is converted back to numpy before the victim sees it, so
+    ``backward()`` never reaches ``x`` and ``x.grad`` stays None.
+    """
+
+    def __init__(self, victim):
+        self._victim = victim
+
+    def __getattr__(self, name):
+        return getattr(self._victim, name)
+
+    def _detach(self, x):
+        from repro.nn import Tensor
+
+        return np.asarray(x.data if isinstance(x, Tensor) else x)
+
+    def distribution(self, x):
+        return self._victim.distribution(self._detach(x))
+
+    def critic(self, x):
+        return self._victim.critic(self._detach(x))
+
+
+class TestDeadGraphDetection:
+    """A detached victim graph must raise, not silently no-op (bugfix)."""
+
+    def test_pgd_raises_on_detached_graph(self, tiny_victim, rng):
+        attack = PgdAttack(_DetachedVictim(tiny_victim), steps=3, seed=0)
+        with pytest.raises(RuntimeError, match="zero or absent input gradient"):
+            attack.action(rng.standard_normal(11))
+
+    def test_critic_pgd_raises_on_detached_graph(self, tiny_victim, rng):
+        attack = CriticPgdAttack(_DetachedVictim(tiny_victim), steps=3, seed=0)
+        with pytest.raises(RuntimeError, match="zero or absent input gradient"):
+            attack.action(rng.standard_normal(11))
+
+    def test_dead_graph_counter_fires(self, tiny_victim, rng):
+        from repro.telemetry import Telemetry, use_telemetry
+
+        telemetry = Telemetry.in_memory()
+        attack = PgdAttack(_DetachedVictim(tiny_victim), steps=2, seed=0)
+        with use_telemetry(telemetry):
+            with pytest.raises(RuntimeError):
+                attack.action(rng.standard_normal(11))
+        assert telemetry.metrics.counter("attacks.pgd.dead_graph").value == 1
+
+    def test_live_graph_unaffected(self, tiny_victim, rng):
+        """The guard must not fire when gradients flow normally."""
+        delta = PgdAttack(tiny_victim, steps=3, seed=0).action(
+            rng.standard_normal(11))
+        assert np.abs(delta).max() <= 1.0 + 1e-12
+
+
+class TestLazySelfCalibration:
+    """Uncalibrated STA must track attack_fraction, not attack 100% (bugfix)."""
+
+    def test_attack_rate_tracks_fraction(self, tiny_victim, rng):
+        inner = PgdAttack(tiny_victim, steps=1, seed=0)
+        timed = StrategicallyTimedAttack(tiny_victim, inner, attack_fraction=0.3,
+                                         calibration_steps=128)
+        obs = rng.standard_normal((600, 11))
+        actions = np.array([timed.action(o) for o in obs])
+        active = (np.abs(actions).max(axis=1) > 0).mean()
+        assert 0.1 <= active <= 0.5  # ~attack_fraction, NOT ~1.0
+        assert timed.threshold is not None
+
+    def test_calibration_recorded_for_reproducibility(self, tiny_victim, rng):
+        inner = PgdAttack(tiny_victim, steps=1, seed=0)
+        timed = StrategicallyTimedAttack(tiny_victim, inner, attack_fraction=0.3,
+                                         calibration_steps=16)
+        assert timed.calibration is None
+        for o in rng.standard_normal((16, 11)):
+            timed.action(o)
+        assert timed.calibration == {
+            "threshold": timed.threshold,
+            "n_obs": 16,
+            "attack_fraction": 0.3,
+            "source": "lazy",
+        }
+
+    def test_explicit_calibration_recorded(self, tiny_victim, rng):
+        inner = PgdAttack(tiny_victim, steps=1, seed=0)
+        timed = StrategicallyTimedAttack(tiny_victim, inner, attack_fraction=0.3,
+                                         calibration_obs=rng.standard_normal((32, 11)))
+        assert timed.calibration["source"] == "explicit"
+        assert timed.calibration["n_obs"] == 32
+
+    def test_calibration_steps_validated(self, tiny_victim):
+        with pytest.raises(ValueError):
+            StrategicallyTimedAttack(tiny_victim, PgdAttack(tiny_victim),
+                                     calibration_steps=0)

@@ -164,3 +164,66 @@ def test_property_linf_projection_in_ball(raw, eps):
 def test_property_l2_projection_in_ball(raw, eps):
     out = project_perturbation(raw, epsilon=eps, norm="l2")
     assert np.linalg.norm(out) <= eps + 1e-9
+
+
+class _StatelessGame:
+    """A two-player game that forgets to publish per-body state vectors."""
+
+    def __init__(self, info):
+        from repro.envs.spaces import Box
+
+        self._info = dict(info)
+        self.adversary_observation_space = Box(-np.inf, np.inf, (3,))
+        self.adversary_action_space = Box(-1.0, 1.0, (2,))
+
+    def seed(self, seed):
+        pass
+
+    def reset(self):
+        return np.zeros(4), np.zeros(3)
+
+    def step(self, victim_action, adversary_action):
+        return (np.zeros(4), np.zeros(3)), (0.0, 0.0), True, dict(self._info)
+
+
+class _StubVictim:
+    def action(self, obs, rng, deterministic=True):
+        return np.zeros(1)
+
+
+class TestOpponentEnvStateValidation:
+    """Missing/bad body state must raise, not become a 0-d NaN (bugfix)."""
+
+    def _step(self, info):
+        adv = OpponentEnv(_StatelessGame(info), _StubVictim())
+        adv.reset()
+        return adv.step(np.zeros(2))
+
+    def test_missing_victim_state_raises(self):
+        with pytest.raises(KeyError, match="victim_state"):
+            self._step({"adversary_state": np.zeros(4)})
+
+    def test_missing_adversary_state_raises(self):
+        with pytest.raises(KeyError, match="adversary_state"):
+            self._step({"victim_state": np.zeros(4)})
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError, match="1-d state vector"):
+            self._step({"victim_state": np.zeros((2, 2)),
+                        "adversary_state": np.zeros(4)})
+
+    def test_empty_state_raises(self):
+        with pytest.raises(ValueError, match="1-d state vector"):
+            self._step({"victim_state": np.zeros(0),
+                        "adversary_state": np.zeros(4)})
+
+    def test_non_numeric_state_raises(self):
+        with pytest.raises(ValueError, match="not convertible"):
+            self._step({"victim_state": ["a", "b"],
+                        "adversary_state": np.zeros(4)})
+
+    def test_valid_states_pass_through(self):
+        _, _, _, _, info = self._step({"victim_state": np.arange(4.0),
+                                       "adversary_state": np.ones(5)})
+        np.testing.assert_array_equal(info["knn_victim"], np.arange(4.0))
+        np.testing.assert_array_equal(info["knn_adversary"], np.ones(5))
